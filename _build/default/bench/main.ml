@@ -1,0 +1,408 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations called out in DESIGN.md and a bechamel
+   micro-benchmark suite.
+
+   Profiles (CLANBFT_BENCH environment variable):
+     quick — scaled-down sizes, ~2 minutes; CI smoke run.
+     paper — the default: the paper's system sizes with trimmed load sweeps
+             (the knee-revealing points); ~20-25 minutes on one core.
+     full  — the complete 13-point sweeps of §7; hours.
+
+   Sections can be selected on the command line:
+     dune exec bench/main.exe -- table1 fig1 concrete fig5a fig5b fig5c \
+       fig6 ablation-latency ablation-rbc micro *)
+
+open Clanbft
+open Clanbft.Sim
+module Rng = Util.Rng
+
+type profile = Quick | Paper | Full
+
+let profile =
+  match Sys.getenv_opt "CLANBFT_BENCH" with
+  | Some "quick" -> Quick
+  | Some "full" -> Full
+  | Some "paper" | None -> Paper
+  | Some other ->
+      Printf.eprintf "unknown CLANBFT_BENCH=%s (quick|paper|full)\n%!" other;
+      exit 2
+
+let profile_name = match profile with Quick -> "quick" | Paper -> "paper" | Full -> "full"
+
+let section_header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: inter-region RTTs used by the simulator *)
+
+let table1 () =
+  section_header "Table 1. Ping latencies (ms) between GCP regions (simulator input)";
+  let regions = Topology.gcp_regions in
+  Printf.printf "%-24s" "Source \\ Destination";
+  Array.iter (fun r -> Printf.printf "%10s" (String.sub r 0 (min 9 (String.length r)))) regions;
+  print_newline ();
+  Array.iteri
+    (fun i row ->
+      Printf.printf "%-24s" regions.(i);
+      Array.iter (fun ms -> Printf.printf "%10.2f" ms) row;
+      print_newline ())
+    Topology.gcp_rtt_ms
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: clan size vs n at failure < 1e-9 *)
+
+let fig1 () =
+  section_header
+    "Figure 1. Clan sizes ensuring an honest majority w.p. > 1 - 1e-9 (exact Eq. 1)";
+  let threshold = Bigint.Rat.of_ints 1 1_000_000_000 in
+  let max_n = match profile with Quick -> 400 | Paper | Full -> 1000 in
+  Printf.printf "%8s %6s %10s %22s\n" "n" "f" "clan size" "failure probability";
+  let rec go n =
+    if n <= max_n then begin
+      let f = Committee.default_f n in
+      match Committee.min_clan_size ~n ~f ~threshold () with
+      | Some nc ->
+          let p = Committee.single_clan_failure ~n ~f ~nc in
+          Printf.printf "%8d %6d %10d %22s\n%!" n f nc (Bigint.Rat.to_scientific p);
+          go (n + 100)
+      | None ->
+          Printf.printf "%8d %6d %10s\n%!" n f "-";
+          go (n + 100)
+    end
+  in
+  go 100
+
+(* ------------------------------------------------------------------ *)
+(* §6.2 concrete numbers *)
+
+let concrete () =
+  section_header "Section 6.2: multi-clan dishonest-majority probabilities (exact)";
+  let show ~n ~q ~paper =
+    let f = Committee.default_f n in
+    let nc = n / q in
+    let p = Committee.multi_clan_failure ~n ~f ~q ~nc in
+    Printf.printf
+      "  n=%-4d f=%-4d q=%d (clans of %d): Pr[dishonest clan] = %s   (paper: %s)\n"
+      n f q nc (Bigint.Rat.to_scientific p) paper
+  in
+  show ~n:150 ~q:2 ~paper:"4.015e-06";
+  show ~n:387 ~q:3 ~paper:"1.11e-06";
+  (* §7: clan sizes used in the experiments at failure ~1e-6. *)
+  let th = Bigint.Rat.of_ints 1 1_000_000 in
+  Printf.printf
+    "\n  Experimental clan sizes at failure <= 1e-6 (paper used 32/60/80):\n";
+  List.iter
+    (fun n ->
+      match Committee.min_clan_size ~n ~f:(Committee.default_f n) ~threshold:th () with
+      | Some nc -> Printf.printf "  n=%-4d -> minimum nc=%d\n" n nc
+      | None -> ())
+    [ 50; 100; 150 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5a/5b/5c and 6: throughput vs latency, by protocol *)
+
+let result_cache : (string, Runner.result) Hashtbl.t = Hashtbl.create 64
+
+let run_point ~n ~protocol ~load ~duration ~warmup ~scale =
+  let key = Printf.sprintf "%s/%d/%d" (Runner.protocol_label protocol) n load in
+  match Hashtbl.find_opt result_cache key with
+  | Some r -> r
+  | None ->
+      let spec =
+        {
+          Runner.default_spec with
+          n;
+          protocol;
+          txns_per_proposal = load;
+          txn_scale = scale;
+          duration = Time.s duration;
+          warmup = Time.s warmup;
+        }
+      in
+      let r, secs = wall (fun () -> Runner.run spec) in
+      Printf.printf "    %-26s load=%-5d -> %8.1f kTPS  %7.1f ms  [%4.0fs wall]\n%!"
+        (Runner.protocol_label protocol) load r.throughput_ktps r.latency_mean_ms secs;
+      Hashtbl.replace result_cache key r;
+      r
+
+let print_figure_rows title points =
+  Printf.printf "\n  %s\n" title;
+  Printf.printf "  %-26s %8s %12s %12s %10s %8s\n" "protocol" "load/prop"
+    "tput (kTPS)" "latency (ms)" "MB/s/node" "agree";
+  List.iter
+    (fun (r : Runner.result) ->
+      Printf.printf "  %-26s %8s %12.1f %12.1f %10.1f %8b\n"
+        r.label "" r.throughput_ktps r.latency_mean_ms r.mb_per_node_per_s r.agreement)
+    points
+
+let fig5_sizes () =
+  (* (figure, n, clan size, multi-clan q option, loads, duration, warmup, scale) *)
+  let paper_loads = [ 1; 32; 63; 125; 250; 500; 1000; 1500; 2000; 3000; 4000; 5000; 6000 ] in
+  match profile with
+  | Quick ->
+      [
+        ("Figure 5a (scaled: n=20, clan 13)", 20, 13, None, [ 500; 2000; 6000 ], 6.0, 2.0, 10);
+        ("Figure 5c (scaled: n=30, clan 17, q=2)", 30, 17, Some 2, [ 500; 2000 ], 6.0, 2.0, 10);
+      ]
+  | Paper ->
+      [
+        ("Figure 5a (n=50, clan 32)", 50, 32, None, [ 125; 500; 1500; 3000; 6000 ], 6.0, 2.0, 25);
+        ("Figure 5b (n=100, clan 60)", 100, 60, None, [ 500; 1500; 6000 ], 4.5, 1.5, 25);
+        ("Figure 5c (n=150, clan 80, q=2)", 150, 80, Some 2, [ 500; 1500 ], 3.0, 0.9, 50);
+      ]
+  | Full ->
+      [
+        ("Figure 5a (n=50, clan 32)", 50, 32, None, paper_loads, 10.0, 3.0, 10);
+        ("Figure 5b (n=100, clan 60)", 100, 60, None, paper_loads, 10.0, 3.0, 10);
+        ("Figure 5c (n=150, clan 80, q=2)", 150, 80, Some 2, paper_loads, 10.0, 3.0, 25);
+      ]
+
+let fig5 which () =
+  let sizes = fig5_sizes () in
+  let idx = match which with `A -> 0 | `B -> 1 | `C -> 2 in
+  if idx < List.length sizes then begin
+    let title, n, nc, multi, loads, duration, warmup, scale = List.nth sizes idx in
+    section_header
+      (Printf.sprintf "%s — throughput vs latency [%s profile]" title profile_name);
+    let protocols =
+      [ Runner.Full; Runner.Single_clan { nc } ]
+      @ (match multi with Some q -> [ Runner.Multi_clan { q } ] | None -> [])
+    in
+    List.iter
+      (fun protocol ->
+        let points =
+          List.map (fun load -> run_point ~n ~protocol ~load ~duration ~warmup ~scale) loads
+        in
+        print_figure_rows (Runner.protocol_label protocol) points)
+      protocols;
+    Printf.printf
+      "\n  Expected shape (paper): Sailfish saturates first; single-clan reaches\n\
+      \  higher throughput with lower latency; multi-clan roughly doubles the\n\
+      \  single-clan throughput at n=150.\n"
+  end
+
+(* Figure 6 re-presents the Figure 5c sweep as throughput vs input load. *)
+let fig6 () =
+  let sizes = fig5_sizes () in
+  let title, n, nc, multi, loads, duration, warmup, scale =
+    List.nth sizes (List.length sizes - 1)
+  in
+  ignore title;
+  section_header
+    (Printf.sprintf
+       "Figure 6. Throughput vs transactions per proposal at n=%d [%s profile]" n
+       profile_name);
+  let protocols =
+    [ Runner.Full; Runner.Single_clan { nc } ]
+    @ (match multi with Some q -> [ Runner.Multi_clan { q } ] | None -> [])
+  in
+  (* Warm the cache first so progress lines don't interleave the table. *)
+  List.iter
+    (fun load ->
+      List.iter
+        (fun protocol -> ignore (run_point ~n ~protocol ~load ~duration ~warmup ~scale))
+        protocols)
+    loads;
+  Printf.printf "  %-12s" "load";
+  List.iter (fun p -> Printf.printf "%26s" (Runner.protocol_label p)) protocols;
+  Printf.printf "\n";
+  List.iter
+    (fun load ->
+      Printf.printf "  %-12d" load;
+      List.iter
+        (fun protocol ->
+          let r = run_point ~n ~protocol ~load ~duration ~warmup ~scale in
+          Printf.printf "%20.1f kTPS" r.throughput_ktps)
+        protocols;
+      Printf.printf "\n%!")
+    loads
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A1: latency architecture comparison (§1, §8) *)
+
+let ablation_latency () =
+  section_header "Ablation A1. Good-case commit latency by architecture (units of delta)";
+  List.iter
+    (fun d ->
+      Printf.printf "  %-28s %2d delta  (%6.0f ms at delta = 100 ms)\n"
+        (Latency_model.name d) (Latency_model.deltas d)
+        (Latency_model.estimate_ms ~delta_ms:100.0 d))
+    Latency_model.all;
+  (* Cross-check the 3-delta claim against the simulator: uniform topology,
+     negligible payload, measure mean commit latency / delta. *)
+  let delta_ms = 40.0 in
+  let r =
+    Runner.run
+      {
+        Runner.default_spec with
+        n = 10;
+        topology = `Uniform delta_ms;
+        txns_per_proposal = 1;
+        duration = Time.s 8.;
+        warmup = Time.s 2.;
+      }
+  in
+  Printf.printf
+    "\n  Measured (simulated Sailfish, n=10, uniform delta=%.0f ms):\n\
+    \  mean commit latency %.1f ms = %.2f delta  (leaders commit at 3delta,\n\
+    \  non-leaders at 5delta; commit-by-ALL-replicas adds up to one more delta)\n"
+    delta_ms r.latency_mean_ms
+    (r.latency_mean_ms /. delta_ms);
+  (* And the PoA-then-order architectures, measured end to end on the same
+     simulator (benign case, Poisson-free fixed submission cadence). *)
+  let measure_poa name params =
+    let n = 10 in
+    let topology = Topology.uniform ~n ~one_way_ms:delta_ms in
+    let world =
+      Poa_smr.create ~n ~params:{ params with Poa_smr.batch_interval = Time.ms (2.0 *. delta_ms) }
+        ~topology ~net_config:{ Net.default_config with jitter = 0.0 }
+        ~seed:5L ~payload_bytes:512 ()
+    in
+    let engine = Poa_smr.engine world in
+    for i = 0 to 59 do
+      Engine.schedule_at engine (Time.ms (float_of_int (50 * i))) (fun () ->
+          Poa_smr.submit_payload world ~proposer:(i mod n))
+    done;
+    Engine.run ~until:(Time.s 12.) engine;
+    Printf.printf "  %-28s measured %7.1f ms = %.2f delta  (%d payloads)\n" name
+      (Poa_smr.mean_commit_latency_ms world)
+      (Poa_smr.mean_commit_latency_ms world /. delta_ms)
+      (Poa_smr.committed world)
+  in
+  Printf.printf "\n  PoA-then-order designs, same delta, measured:\n";
+  measure_poa "straw-man (3-hop SMR)" Poa_smr.strawman;
+  measure_poa "Arete-style (Jolteon, 5-hop)" Poa_smr.arete
+
+(* ------------------------------------------------------------------ *)
+(* Ablation A2: RBC primitives — rounds and bytes *)
+
+let ablation_rbc () =
+  section_header "Ablation A2. Reliable broadcast primitives (n=40, clan 16, 1 MB value)";
+  let n = 40 in
+  let clan = Array.init 16 (fun i -> i) in
+  Printf.printf "  %-16s %14s %14s %12s\n" "protocol" "latency (ms)" "total MB" "messages";
+  List.iter
+    (fun protocol ->
+      let engine = Engine.create () in
+      let topology = Topology.gcp_table1 ~n in
+      let net =
+        Net.create ~engine ~topology ~config:Net.default_config
+          ~size:(Rbc.msg_size ~n) ~rng:(Rng.create 13L) ()
+      in
+      let keychain = Crypto.Keychain.create ~seed:17L ~n in
+      let last_delivery = ref 0 in
+      let nodes =
+        Array.init n (fun me ->
+            Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
+              ~on_deliver:(fun ~sender:_ ~round:_ _ ->
+                last_delivery := max !last_delivery (Engine.now engine))
+              ())
+      in
+      Rbc.broadcast nodes.(0) ~round:1 (String.make 1_000_000 'x');
+      Engine.run engine;
+      Printf.printf "  %-16s %14.1f %14.2f %12d\n"
+        (Rbc.protocol_name protocol)
+        (Time.to_ms !last_delivery)
+        (float_of_int (Net.total_bytes net) /. 1e6)
+        (Net.total_messages net))
+    Rbc.[ Bracha; Signed_two_round; Tribe_bracha; Tribe_signed ];
+  Printf.printf
+    "\n  Tribe-assisted variants ship the payload to the clan only (16/40 nodes);\n\
+    \  the signed variants finish one message round earlier.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel) *)
+
+let micro () =
+  section_header "Micro-benchmarks (bechamel; ns per operation)";
+  let open Bechamel in
+  let open Toolkit in
+  let payload_1k = String.make 1024 'x' in
+  let kc = Crypto.Keychain.create ~seed:1L ~n:100 in
+  let txns =
+    Array.init 100 (fun i -> Transaction.make ~id:i ~client:0 ~created_at:0 ())
+  in
+  let block = Block.make ~proposer:0 ~round:1 ~txns in
+  let echo =
+    Msg.Echo
+      {
+        round = 1;
+        source = 0;
+        vertex_digest = Block.digest block;
+        signer = 3;
+        signature = Crypto.Keychain.sign kc ~signer:3 "x";
+      }
+  in
+  let encoded_echo = Codec.encode ~n:100 echo in
+  let rng = Rng.create 99L in
+  let tests =
+    Test.make_grouped ~name:"clanbft"
+      [
+        Test.make ~name:"sha256-1KiB" (Staged.stage (fun () ->
+            ignore (Crypto.Sha256.digest_string payload_1k)));
+        Test.make ~name:"block-digest-100txn" (Staged.stage (fun () ->
+            ignore (Block.make ~proposer:0 ~round:1 ~txns)));
+        Test.make ~name:"binomial-C(500,166)-cached" (Staged.stage (fun () ->
+            ignore (Committee.binomial 500 166)));
+        Test.make ~name:"codec-encode-echo" (Staged.stage (fun () ->
+            ignore (Codec.encode ~n:100 echo)));
+        Test.make ~name:"codec-decode-echo" (Staged.stage (fun () ->
+            ignore (Codec.decode ~n:100 encoded_echo)));
+        Test.make ~name:"rng-int" (Staged.stage (fun () -> ignore (Rng.int rng 1000)));
+        Test.make ~name:"sign" (Staged.stage (fun () ->
+            ignore (Crypto.Keychain.sign kc ~signer:1 payload_1k)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Bechamel.Time.second 0.3) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("fig1", fig1);
+    ("concrete", concrete);
+    ("fig5a", fig5 `A);
+    ("fig5b", fig5 `B);
+    ("fig5c", fig5 `C);
+    ("fig6", fig6);
+    ("ablation-latency", ablation_latency);
+    ("ablation-rbc", ablation_rbc);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Printf.printf "clanbft benchmark harness — profile: %s\n" profile_name;
+  Printf.printf "(set CLANBFT_BENCH=quick|paper|full to change scope)\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections)))
+    requested;
+  Printf.printf "\nTotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

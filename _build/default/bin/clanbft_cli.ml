@@ -1,0 +1,207 @@
+(* clanbft command-line interface.
+
+     clanbft sim        — run a simulated experiment and print metrics
+     clanbft clan-size  — exact committee sizing (Fig. 1 / §6.2 machinery)
+     clanbft rbc        — broadcast one value through a chosen RBC variant
+     clanbft latency    — architectural latency bounds (§1 / §8)          *)
+
+open Cmdliner
+open Clanbft
+open Clanbft.Sim
+
+(* ------------------------------------------------------------------ *)
+(* sim *)
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "full" | "sailfish" -> Ok `Full
+    | "single-clan" | "single" -> Ok `Single
+    | "multi-clan" | "multi" -> Ok `Multi
+    | _ -> Error (`Msg "expected full | single-clan | multi-clan")
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with `Full -> "full" | `Single -> "single-clan" | `Multi -> "multi-clan")
+  in
+  Arg.conv (parse, print)
+
+let sim_cmd =
+  let run n protocol nc q load size duration warmup seed uniform crashed verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    let protocol =
+      match protocol with
+      | `Full -> Runner.Full
+      | `Single ->
+          let nc =
+            match nc with
+            | Some nc -> nc
+            | None -> (
+                let threshold = Bigint.Rat.of_ints 1 1_000_000 in
+                match
+                  Committee.min_clan_size ~n ~f:(Committee.default_f n) ~threshold ()
+                with
+                | Some nc -> nc
+                | None -> n)
+          in
+          Runner.Single_clan { nc }
+      | `Multi -> Runner.Multi_clan { q }
+    in
+    let spec =
+      {
+        Runner.default_spec with
+        n;
+        protocol;
+        txns_per_proposal = load;
+        txn_size = size;
+        duration = Time.s duration;
+        warmup = Time.s warmup;
+        seed = Int64.of_int seed;
+        topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
+        crashed;
+      }
+    in
+    let r = Runner.run spec in
+    Format.printf "%a@." Runner.pp_result r;
+    Format.printf
+      "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
+      r.committed_txns r.rounds r.leaders_committed
+      (float_of_int r.bytes_total /. 1e6);
+    if not r.agreement then exit 1
+  in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
+  let protocol =
+    Arg.(value & opt protocol_conv `Single
+         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan.")
+  in
+  let nc =
+    Arg.(value & opt (some int) None
+         & info [ "clan-size" ] ~doc:"Clan size (single-clan); default: exact minimum at 1e-6.")
+  in
+  let q = Arg.(value & opt int 2 & info [ "clans" ] ~doc:"Clan count (multi-clan).") in
+  let load =
+    Arg.(value & opt int 500 & info [ "load" ] ~doc:"Transactions per proposal.")
+  in
+  let size = Arg.(value & opt int 512 & info [ "txn-size" ] ~doc:"Transaction bytes.") in
+  let duration = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let warmup = Arg.(value & opt float 3.0 & info [ "warmup" ] ~doc:"Warm-up seconds.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let uniform =
+    Arg.(value & opt (some float) None
+         & info [ "uniform" ] ~doc:"Uniform one-way delay (ms) instead of the GCP topology.")
+  in
+  let crashed =
+    Arg.(value & opt (list int) [] & info [ "crash" ] ~doc:"Replica ids that never start.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a simulated geo-distributed experiment")
+    Term.(
+      const run $ n $ protocol $ nc $ q $ load $ size $ duration $ warmup $ seed
+      $ uniform $ crashed $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* clan-size *)
+
+let clan_size_cmd =
+  let run n f q exponent =
+    let f = match f with Some f -> f | None -> Committee.default_f n in
+    let threshold = Bigint.Rat.pow2 (-exponent) in
+    Printf.printf "n=%d f=%d threshold=2^-%d\n" n f exponent;
+    match Committee.min_clan_size ~q ~n ~f ~threshold () with
+    | Some nc ->
+        let p =
+          if q = 1 then Committee.single_clan_failure ~n ~f ~nc
+          else Committee.multi_clan_failure ~n ~f ~q ~nc
+        in
+        Printf.printf "minimum clan size: %d (exact failure %s)\n" nc
+          (Bigint.Rat.to_scientific p)
+    | None -> Printf.printf "no clan size up to n/q achieves the threshold\n"
+  in
+  let n = Arg.(value & opt int 500 & info [ "n" ] ~doc:"Tribe size.") in
+  let f = Arg.(value & opt (some int) None & info [ "f" ] ~doc:"Byzantine bound.") in
+  let q = Arg.(value & opt int 1 & info [ "clans" ] ~doc:"Number of disjoint clans.") in
+  let mu = Arg.(value & opt int 30 & info [ "mu" ] ~doc:"Security exponent (2^-mu).") in
+  Cmd.v
+    (Cmd.info "clan-size" ~doc:"Exact minimum clan size (hypergeometric / Eq. 3-7)")
+    Term.(const run $ n $ f $ q $ mu)
+
+(* ------------------------------------------------------------------ *)
+(* rbc *)
+
+let rbc_cmd =
+  let run n nc protocol bytes =
+    let protocol =
+      match String.lowercase_ascii protocol with
+      | "bracha" -> Rbc.Bracha
+      | "signed" -> Rbc.Signed_two_round
+      | "tribe-bracha" -> Rbc.Tribe_bracha
+      | "tribe-signed" -> Rbc.Tribe_signed
+      | _ ->
+          prerr_endline "protocol: bracha | signed | tribe-bracha | tribe-signed";
+          exit 2
+    in
+    let engine = Engine.create () in
+    let topology = Topology.gcp_table1 ~n in
+    let net =
+      Net.create ~engine ~topology ~config:Net.default_config
+        ~size:(Rbc.msg_size ~n) ~rng:(Util.Rng.create 77L) ()
+    in
+    let keychain = Crypto.Keychain.create ~seed:3L ~n in
+    let clan = Committee.elect_balanced ~n ~nc in
+    let values = ref 0 and digests = ref 0 and last = ref 0 in
+    let nodes =
+      Array.init n (fun me ->
+          Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
+            ~on_deliver:(fun ~sender:_ ~round:_ outcome ->
+              last := Engine.now engine;
+              match outcome with
+              | Rbc.Value _ -> incr values
+              | Rbc.Digest_only _ -> incr digests)
+            ())
+    in
+    Rbc.broadcast nodes.(0) ~round:1 (String.make bytes 'x');
+    Engine.run engine;
+    Printf.printf
+      "%s: delivered to all %d nodes (%d full values, %d digests)\n"
+      (Rbc.protocol_name protocol) (!values + !digests) !values !digests;
+    Printf.printf "last delivery at %.1f ms; %.2f MB total on the wire\n"
+      (Time.to_ms !last)
+      (float_of_int (Net.total_bytes net) /. 1e6)
+  in
+  let n = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Tribe size.") in
+  let nc = Arg.(value & opt int 16 & info [ "clan-size" ] ~doc:"Clan size.") in
+  let protocol =
+    Arg.(value & opt string "tribe-signed" & info [ "p"; "protocol" ] ~doc:"RBC variant.")
+  in
+  let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes" ] ~doc:"Value size.") in
+  Cmd.v
+    (Cmd.info "rbc" ~doc:"Run one reliable-broadcast instance and report cost")
+    Term.(const run $ n $ nc $ protocol $ bytes)
+
+(* ------------------------------------------------------------------ *)
+(* latency *)
+
+let latency_cmd =
+  let run delta_ms =
+    List.iter
+      (fun d ->
+        Printf.printf "%-28s %d delta = %6.0f ms\n" (Latency_model.name d)
+          (Latency_model.deltas d)
+          (Latency_model.estimate_ms ~delta_ms d))
+      Latency_model.all
+  in
+  let delta = Arg.(value & opt float 100.0 & info [ "delta" ] ~doc:"One-way delay (ms).") in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Good-case commit latency bounds by architecture")
+    Term.(const run $ delta)
+
+let () =
+  let doc = "clan-based DAG BFT SMR (tribe-assisted reliable broadcast)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "clanbft" ~version:"0.1.0" ~doc)
+          [ sim_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))

@@ -1,0 +1,1 @@
+examples/byzantine_demo.ml: Array Block Clanbft Config Digest32 Engine Keychain List Msg Net Printf Sailfish String Time Topology Transaction Util Vertex

@@ -1,0 +1,1 @@
+examples/committee_planner.ml: Array Bigint Clanbft Committee List Printf Sys

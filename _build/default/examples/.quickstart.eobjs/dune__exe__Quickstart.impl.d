@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bigint Clanbft Client Committee Config Crypto Engine Execution Format Msg Net Node Printf Sailfish Time Topology Transaction Util

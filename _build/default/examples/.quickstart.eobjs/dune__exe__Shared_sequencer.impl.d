@@ -1,0 +1,1 @@
+examples/shared_sequencer.ml: Array Clanbft Committee Config Crypto Engine Execution Format List Msg Net Node Printf String Time Topology Transaction Util Vertex

@@ -1,0 +1,49 @@
+(* Committee planner: the paper's statistical machinery as a standalone
+   tool. Given a deployment size, print exact clan sizing options for
+   single- and multi-clan operation at several security levels.
+
+     dune exec examples/committee_planner.exe -- [n]      (default 300) *)
+
+open Clanbft
+module Rat = Bigint.Rat
+
+let thresholds =
+  [ ("1e-6", Rat.of_ints 1 1_000_000); ("1e-9", Rat.of_ints 1 1_000_000_000);
+    ("2^-40", Rat.pow2 (-40)) ]
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 300
+  in
+  let f = Committee.default_f n in
+  Printf.printf "tribe: n = %d, f = %d (quorum %d)\n\n" n f ((2 * f) + 1);
+
+  Printf.printf "single clan (paper Eq. 1-2): minimum clan size\n";
+  List.iter
+    (fun (label, threshold) ->
+      match Committee.min_clan_size ~n ~f ~threshold () with
+      | Some nc ->
+          let p = Committee.single_clan_failure ~n ~f ~nc in
+          Printf.printf "  failure < %-5s -> nc = %-4d (exact failure %s, %d%% of tribe)\n"
+            label nc (Rat.to_scientific p) (100 * nc / n)
+      | None -> Printf.printf "  failure < %-5s -> impossible at this n\n" label)
+    thresholds;
+
+  Printf.printf "\nmulti-clan partitions (paper Eq. 3-7, exact):\n";
+  List.iter
+    (fun q ->
+      if n / q >= 3 then begin
+        let nc = n / q in
+        let p = Committee.multi_clan_failure ~n ~f ~q ~nc in
+        let verdict ok = if ok then "OK" else "too risky" in
+        Printf.printf "  q = %d clans of %-4d -> Pr[some clan dishonest] = %-12s" q nc
+          (Rat.to_scientific p);
+        Printf.printf " [1e-6: %s, 1e-9: %s]\n"
+          (verdict (Rat.compare p (Rat.of_ints 1 1_000_000) <= 0))
+          (verdict (Rat.compare p (Rat.of_ints 1 1_000_000_000) <= 0))
+      end)
+    [ 2; 3; 4; 5 ];
+
+  Printf.printf
+    "\nNote: Eq. 1's tail counts a 50/50 split as dishonest, so odd clan sizes\n\
+     are strictly safer than the next even size (see EXPERIMENTS.md).\n"

@@ -1,0 +1,1 @@
+lib/bigint/nat.ml: Array Buffer Char Float Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bigint/rat.ml: Buffer Format Nat Printf

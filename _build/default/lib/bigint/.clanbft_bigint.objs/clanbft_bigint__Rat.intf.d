@@ -1,0 +1,1 @@
+lib/bigint/rat.mli: Format Nat

@@ -1,0 +1,317 @@
+(* Little-endian limbs in base 2^30, canonical: no trailing zero limb.
+   [zero] is the empty array. Base 2^30 keeps every intermediate product of
+   two limbs plus a carry below 2^62, comfortably inside OCaml's 63-bit
+   native ints. *)
+
+type t = int array
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero (a : t) = Array.length a = 0
+
+(* Strip trailing zero limbs to restore canonical form. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec limbs n acc = if n = 0 then List.rev acc else limbs (n lsr base_bits) ((n land base_mask) :: acc) in
+    Array.of_list (limbs n [])
+  end
+
+let to_int_opt (a : t) =
+  let n = Array.length a in
+  if n = 0 then Some 0
+  else if n * base_bits <= 62 then begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else begin
+    (* May still fit: check the top limbs explicitly. *)
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (max_int - a.(i)) lsr base_bits then ok := false
+      else v := (!v lsl base_bits) lor a.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- acc land base_mask;
+        carry := acc lsr base_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    done;
+    normalize out
+  end
+
+let mul_int (a : t) m =
+  if m < 0 || m >= base then invalid_arg "Nat.mul_int: multiplier out of range";
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let acc = (a.(i) * m) + !carry in
+      out.(i) <- acc land base_mask;
+      carry := acc lsr base_bits
+    done;
+    out.(la) <- !carry;
+    normalize out
+  end
+
+let divmod_int (a : t) d =
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_int: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let shift_left1 (a : t) : t =
+  let la = Array.length a in
+  if la = 0 then zero
+  else begin
+    let out = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl 1) lor !carry in
+      out.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    out.(la) <- !carry;
+    normalize out
+  end
+
+let shift_right1 (a : t) : t =
+  let la = Array.length a in
+  if la = 0 then zero
+  else begin
+    let out = Array.make la 0 in
+    let carry = ref 0 in
+    for i = la - 1 downto 0 do
+      out.(i) <- (a.(i) lsr 1) lor (!carry lsl (base_bits - 1));
+      carry := a.(i) land 1
+    done;
+    normalize out
+  end
+
+let is_even (a : t) = Array.length a = 0 || a.(0) land 1 = 0
+
+let shift_left (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative shift";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limb_shift + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl bit_shift) lor !carry in
+      out.(i + limb_shift) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    out.(la + limb_shift) <- !carry;
+    normalize out
+  end
+
+(* Forward declaration site for [bits]; defined below but needed by divmod.
+   We compute it locally here to keep definition order simple. *)
+let bits_of (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + width a.(la - 1) 0
+  end
+
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    (* Binary long division: subtract shifted copies of [b] from the running
+       remainder, recording quotient bits. The shifted divisors are produced
+       incrementally from the largest down, halving each step. *)
+    let shift = bits_of a - bits_of b in
+    let d = ref (shift_left b shift) in
+    let r = ref a in
+    let qbits = Array.make (shift + 1) false in
+    for i = shift downto 0 do
+      if compare !r !d >= 0 then begin
+        r := sub !r !d;
+        qbits.(i) <- true
+      end;
+      if i > 0 then d := shift_right1 !d
+    done;
+    let q = Array.make ((shift / base_bits) + 1) 0 in
+    for i = 0 to shift do
+      if qbits.(i) then q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    done;
+    (normalize q, !r)
+  end
+
+(* Binary GCD: only needs comparison, subtraction and shifts. *)
+let gcd a b =
+  let rec go a b shift =
+    if is_zero a then (b, shift)
+    else if is_zero b then (a, shift)
+    else
+      match (is_even a, is_even b) with
+      | true, true -> go (shift_right1 a) (shift_right1 b) (shift + 1)
+      | true, false -> go (shift_right1 a) b shift
+      | false, true -> go a (shift_right1 b) shift
+      | false, false ->
+          if compare a b >= 0 then go (shift_right1 (sub a b)) b shift
+          else go a (shift_right1 (sub b a)) shift
+  in
+  let g, shift = go a b 0 in
+  let rec reshift g i = if i = 0 then g else reshift (shift_left1 g) (i - 1) in
+  reshift g shift
+
+let pow a n =
+  if n < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (n lsr 1)
+    end
+  in
+  go one a n
+
+let bits = bits_of
+
+let to_float_exp (a : t) =
+  let la = Array.length a in
+  if la = 0 then (0.0, 0)
+  else begin
+    (* Fold the top limbs (up to 3, i.e. 90 bits) into a float mantissa, then
+       renormalise into [1, 2). *)
+    let hi = min la 3 in
+    let m = ref 0.0 in
+    for i = la - 1 downto la - hi do
+      m := (!m *. float_of_int base) +. float_of_int a.(i)
+    done;
+    let e = ref ((la - hi) * base_bits) in
+    let m = ref !m in
+    while !m >= 2.0 do
+      m := !m /. 2.0;
+      incr e
+    done;
+    while !m < 1.0 && !m > 0.0 do
+      m := !m *. 2.0;
+      decr e
+    done;
+    (!m, !e)
+  end
+
+let to_float a =
+  let f, e = to_float_exp a in
+  if f = 0.0 then 0.0 else f *. Float.of_int 2 ** float_of_int e
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    (* Peel 9 decimal digits at a time. *)
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+        let buf = Buffer.create 32 in
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+        Buffer.contents buf
+  end
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0'))
+      | _ -> invalid_arg "Nat.of_string: non-digit")
+    s;
+  !acc
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

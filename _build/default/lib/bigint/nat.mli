@@ -1,0 +1,77 @@
+(** Arbitrary-precision natural numbers.
+
+    The committee-size analysis of the paper (Eq. 1–7) manipulates binomial
+    coefficients such as C(1000, 225) ≈ 10^216, far beyond native integers,
+    and `zarith` is not available in this environment. This module provides
+    exactly the operations that analysis needs: addition, subtraction,
+    multiplication, division by a machine-word divisor (enough for the
+    multiplicative binomial formula, whose intermediate divisions are exact),
+    binary GCD, and conversion to floats with explicit binary exponent so
+    that ratios of astronomically large numbers can be evaluated without
+    overflow.
+
+    Values are immutable. Representation: little-endian limbs in base 2^30
+    with no trailing zero limb (canonical form). *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int_opt : t -> int option
+(** [Some n] when the value fits in a native [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val mul : t -> t -> t
+
+val mul_int : t -> int -> t
+(** Multiply by a machine integer in [\[0, 2^30)]; use [mul] beyond that. *)
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a d] with [0 < d < 2^30] returns quotient and remainder. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] returns [(q, r)] with [a = q*b + r] and [r < b]. Raises
+    [Division_by_zero] when [b] is zero. *)
+
+val shift_left : t -> int -> t
+(** Shift left by [k >= 0] bits. *)
+
+val shift_left1 : t -> t
+val shift_right1 : t -> t
+val is_even : t -> bool
+
+val gcd : t -> t -> t
+(** Binary GCD; [gcd 0 b = b]. *)
+
+val pow : t -> int -> t
+
+val bits : t -> int
+(** Position of the highest set bit plus one; [bits zero = 0]. *)
+
+val to_float_exp : t -> float * int
+(** [to_float_exp n] is [(f, e)] with [n = f *. 2^e] approximately and
+    [f] in [\[1, 2)] (or [(0., 0)] for zero). Exact for values below 2^53. *)
+
+val to_float : t -> float
+(** Nearest float; [infinity] when out of range. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string of digits; raises [Invalid_argument] on anything
+    else. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type t = { negative : bool; num : Nat.t; den : Nat.t }
+
+let normalize negative num den =
+  if Nat.is_zero den then invalid_arg "Rat: zero denominator";
+  if Nat.is_zero num then { negative = false; num = Nat.zero; den = Nat.one }
+  else begin
+    let g = Nat.gcd num den in
+    if Nat.equal g Nat.one then { negative; num; den }
+    else
+      { negative; num = fst (Nat.divmod num g); den = fst (Nat.divmod den g) }
+  end
+
+let zero = { negative = false; num = Nat.zero; den = Nat.one }
+let one = { negative = false; num = Nat.one; den = Nat.one }
+let make ?(negative = false) num den = normalize negative num den
+
+let of_int n =
+  if n >= 0 then { negative = false; num = Nat.of_int n; den = Nat.one }
+  else { negative = true; num = Nat.of_int (-n); den = Nat.one }
+
+let of_ints n d =
+  if d = 0 then invalid_arg "Rat.of_ints: zero denominator";
+  let negative = n < 0 <> (d < 0) in
+  normalize negative (Nat.of_int (abs n)) (Nat.of_int (abs d))
+
+let num t = t.num
+let den t = t.den
+let is_negative t = t.negative
+let is_zero t = Nat.is_zero t.num
+
+(* Add magnitudes assuming both operands share sign [negative]. *)
+let add_mag negative a b =
+  let num =
+    Nat.add (Nat.mul a.num b.den) (Nat.mul b.num a.den)
+  in
+  normalize negative num (Nat.mul a.den b.den)
+
+(* Magnitude comparison ignoring sign. *)
+let compare_mag a b = Nat.compare (Nat.mul a.num b.den) (Nat.mul b.num a.den)
+
+(* [a - b] on magnitudes, result sign chosen from the larger operand. *)
+let sub_mag negative_if_a_wins a b =
+  let cross_a = Nat.mul a.num b.den and cross_b = Nat.mul b.num a.den in
+  let c = Nat.compare cross_a cross_b in
+  if c = 0 then zero
+  else if c > 0 then
+    normalize negative_if_a_wins (Nat.sub cross_a cross_b) (Nat.mul a.den b.den)
+  else
+    normalize (not negative_if_a_wins) (Nat.sub cross_b cross_a)
+      (Nat.mul a.den b.den)
+
+let add a b =
+  match (a.negative, b.negative) with
+  | false, false -> add_mag false a b
+  | true, true -> add_mag true a b
+  | false, true -> sub_mag false a b
+  | true, false -> sub_mag true a b
+
+let neg t = if is_zero t then t else { t with negative = not t.negative }
+let sub a b = add a (neg b)
+
+let mul a b =
+  normalize (a.negative <> b.negative) (Nat.mul a.num b.num)
+    (Nat.mul a.den b.den)
+
+let div a b =
+  if is_zero b then raise Division_by_zero;
+  normalize (a.negative <> b.negative) (Nat.mul a.num b.den)
+    (Nat.mul a.den b.num)
+
+let compare a b =
+  match (a.negative, b.negative) with
+  | false, true -> if is_zero a && is_zero b then 0 else 1
+  | true, false -> if is_zero a && is_zero b then 0 else -1
+  | false, false -> compare_mag a b
+  | true, true -> compare_mag b a
+
+let equal a b = compare a b = 0
+
+let pow2 k =
+  if k >= 0 then { negative = false; num = Nat.pow (Nat.of_int 2) k; den = Nat.one }
+  else { negative = false; num = Nat.one; den = Nat.pow (Nat.of_int 2) (-k) }
+
+let to_float t =
+  if is_zero t then 0.0
+  else begin
+    let fn, en = Nat.to_float_exp t.num in
+    let fd, ed = Nat.to_float_exp t.den in
+    let magnitude = fn /. fd *. (2.0 ** float_of_int (en - ed)) in
+    if t.negative then -.magnitude else magnitude
+  end
+
+let to_scientific ?(digits = 3) t =
+  if is_zero t then "0"
+  else begin
+    (* Compute the decimal exponent then extract [digits]+1 significant
+       decimal digits exactly via scaled integer division. *)
+    let sign = if t.negative then "-" else "" in
+    let e10 = ref 0 in
+    (* Scale num or den by powers of 10 until 1 <= num/den < 10. *)
+    let num = ref t.num and den = ref t.den in
+    let ten = Nat.of_int 10 in
+    while Nat.compare !num !den < 0 do
+      num := Nat.mul_int !num 10;
+      decr e10
+    done;
+    while Nat.compare !num (Nat.mul !den ten) >= 0 do
+      den := Nat.mul_int !den 10;
+      incr e10
+    done;
+    (* Now 1 <= num/den < 10: peel significant digits. *)
+    let buf = Buffer.create 16 in
+    let n = ref !num in
+    for i = 0 to digits do
+      let q, r = Nat.divmod !n !den in
+      let digit = match Nat.to_int_opt q with Some d -> d | None -> assert false in
+      if i = 1 then Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int digit);
+      n := Nat.mul_int r 10
+    done;
+    Printf.sprintf "%s%se%s%02d" sign (Buffer.contents buf)
+      (if !e10 < 0 then "-" else "+")
+      (abs !e10)
+  end
+
+let pp ppf t = Format.pp_print_string ppf (to_scientific t)

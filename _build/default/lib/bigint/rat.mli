@@ -1,0 +1,48 @@
+(** Exact rational arithmetic over {!Nat}.
+
+    Probabilities in the committee analysis are ratios of huge binomial
+    sums; they are tiny (down to 10^-30) yet must be compared against exact
+    thresholds such as 2^-µ (Eq. 2, Eq. 8). Exact rationals make those
+    comparisons unconditional; floats are derived only at the very end for
+    display. Values are normalised (gcd-reduced, canonical sign, non-zero
+    denominator). *)
+
+type t
+
+val zero : t
+val one : t
+
+val make : ?negative:bool -> Nat.t -> Nat.t -> t
+(** [make num den]; raises [Invalid_argument] if [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val num : t -> Nat.t
+val den : t -> Nat.t
+val is_negative : t -> bool
+val is_zero : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val neg : t -> t
+
+val pow2 : int -> t
+(** [pow2 k] is 2^k, with [k] possibly negative — e.g. the security
+    threshold 2^-µ. *)
+
+val to_float : t -> float
+(** Accurate even when numerator and denominator individually overflow the
+    float range: evaluated as a mantissa ratio with explicit exponents. *)
+
+val to_scientific : ?digits:int -> t -> string
+(** Decimal scientific notation, e.g. ["4.015e-06"]. [digits] defaults to 3
+    significant decimals after the leading digit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/committee/analysis.ml: Array Clanbft_bigint Clanbft_util Hashtbl Nat Rat Stdlib

@@ -1,0 +1,1 @@
+lib/committee/analysis.mli: Clanbft_bigint Clanbft_util Nat Rat

@@ -1,0 +1,135 @@
+open Clanbft_bigint
+module Rng = Clanbft_util.Rng
+
+let default_f n = (n - 1) / 3
+let max_clan_faults nc = ((nc + 1) / 2) - 1
+
+(* Multiplicative binomial: C(n,k) = prod_{i=1..k} (n-k+i)/i. Each division
+   is exact because after multiplying by (n-k+i) the running product is a
+   product of i consecutive integers, hence divisible by i!. Cached: the
+   analysis evaluates the same coefficients many times. *)
+let binomial_cache : (int * int, Nat.t) Hashtbl.t = Hashtbl.create 1024
+
+let binomial n k =
+  if k < 0 || k > n then Nat.zero
+  else begin
+    let k = min k (n - k) in
+    match Hashtbl.find_opt binomial_cache (n, k) with
+    | Some v -> v
+    | None ->
+        let acc = ref Nat.one in
+        for i = 1 to k do
+          acc := Nat.mul_int !acc (n - k + i);
+          let q, r = Nat.divmod_int !acc i in
+          assert (r = 0);
+          acc := q
+        done;
+        Hashtbl.replace binomial_cache (n, k) !acc;
+        !acc
+  end
+
+let check_tribe ~n ~f =
+  if n <= 0 then invalid_arg "Analysis: n must be positive";
+  if f < 0 || f >= n then invalid_arg "Analysis: need 0 <= f < n"
+
+let single_clan_failure ~n ~f ~nc =
+  check_tribe ~n ~f;
+  if nc <= 0 || nc > n then invalid_arg "Analysis: need 0 < nc <= n";
+  (* Eq. 1: sum_{k=⌈nc/2⌉}^{nc} C(f,k) C(n-f, nc-k) / C(n, nc) *)
+  let lo = (nc + 1) / 2 in
+  let total = binomial n nc in
+  let s = ref Nat.zero in
+  for k = lo to min nc f do
+    s := Nat.add !s (Nat.mul (binomial f k) (binomial (n - f) (nc - k)))
+  done;
+  Rat.make !s total
+
+let multi_clan_failure ~n ~f ~q ~nc =
+  check_tribe ~n ~f;
+  if q <= 0 then invalid_arg "Analysis: q must be positive";
+  if nc <= 0 || q * nc > n then invalid_arg "Analysis: need 0 < q*nc <= n";
+  let fc = max_clan_faults nc in
+  (* N = number of ways to draw q ordered disjoint clans (Eq. 3 / Eq. 6,
+     except we also count the choice of the last clan explicitly, which
+     cancels in the ratio when q*nc = n). *)
+  let total =
+    let acc = ref Nat.one in
+    for i = 0 to q - 1 do
+      acc := Nat.mul !acc (binomial (n - (i * nc)) nc)
+    done;
+    !acc
+  in
+  (* s = draws in which every clan has at most fc Byzantine members
+     (Eq. 4 / Eq. 7 generalised). State: clans still to fill and Byzantine
+     parties still unassigned; honest remainder is determined. *)
+  let memo : (int * int, Nat.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec good i f_rem =
+    if i = q then Nat.one
+    else
+      match Hashtbl.find_opt memo (i, f_rem) with
+      | Some v -> v
+      | None ->
+          let h_rem = n - (i * nc) - f_rem in
+          let acc = ref Nat.zero in
+          let w_max = min fc (min f_rem nc) in
+          for w = max 0 (nc - h_rem) to w_max do
+            let ways =
+              Nat.mul (binomial f_rem w) (binomial h_rem (nc - w))
+            in
+            if not (Nat.is_zero ways) then
+              acc := Nat.add !acc (Nat.mul ways (good (i + 1) (f_rem - w)))
+          done;
+          Hashtbl.replace memo (i, f_rem) !acc;
+          !acc
+  in
+  let s = good 0 f in
+  (* Pr(some clan dishonest) = 1 - s/N = (N - s)/N, exactly. *)
+  Rat.make (Nat.sub total s) total
+
+let min_clan_size ?(q = 1) ~n ~f ~threshold () =
+  check_tribe ~n ~f;
+  let failure nc =
+    if q = 1 then single_clan_failure ~n ~f ~nc
+    else multi_clan_failure ~n ~f ~q ~nc
+  in
+  let max_nc = n / q in
+  let rec search nc =
+    if nc > max_nc then None
+    else if Rat.compare (failure nc) threshold <= 0 then Some nc
+    else search (nc + 1)
+  in
+  search 1
+
+let elect_random rng ~n ~nc =
+  if nc < 0 || nc > n then invalid_arg "Analysis.elect_random";
+  let ids = Array.init n (fun i -> i) in
+  Rng.shuffle rng ids;
+  let clan = Array.sub ids 0 nc in
+  Array.sort Stdlib.compare clan;
+  clan
+
+let elect_balanced ~n ~nc =
+  if nc <= 0 || nc > n then invalid_arg "Analysis.elect_balanced";
+  (* With round-robin region placement (node i in region i mod r),
+     consecutive ids spread evenly across regions — the paper's
+     "distributed clan nodes evenly across GCP regions". *)
+  Array.init nc (fun j -> j)
+
+let partition_random rng ~n ~q =
+  if q <= 0 || q > n then invalid_arg "Analysis.partition_random";
+  let ids = Array.init n (fun i -> i) in
+  Rng.shuffle rng ids;
+  let clans = Array.init q (fun _ -> ref []) in
+  Array.iteri (fun pos id -> clans.(pos mod q) := id :: !(clans.(pos mod q))) ids;
+  Array.map
+    (fun members ->
+      let a = Array.of_list !members in
+      Array.sort Stdlib.compare a;
+      a)
+    clans
+
+let partition_balanced ~n ~q =
+  if q <= 0 || q > n then invalid_arg "Analysis.partition_balanced";
+  Array.init q (fun c ->
+      let size = ((n - c - 1) / q) + 1 in
+      Array.init size (fun j -> c + (j * q)))

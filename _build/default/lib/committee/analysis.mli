@@ -1,0 +1,63 @@
+(** Statistical committee-size analysis (paper §5 "Statistical security
+    analysis" and §6.2).
+
+    All probabilities are computed as exact rationals over
+    arbitrary-precision integers and only converted to floats for display,
+    so threshold comparisons like Eq. 2 / Eq. 8 are exact.
+
+    Conventions, following §2 of the paper: the tribe has [n] parties of
+    which [f = ⌊(n-1)/3⌋] may be Byzantine; a clan of size [nc] keeps an
+    honest majority as long as it contains at most [fc = ⌈nc/2⌉ - 1]
+    Byzantine members. *)
+
+open Clanbft_bigint
+
+val default_f : int -> int
+(** [⌊(n-1)/3⌋]. *)
+
+val max_clan_faults : int -> int
+(** [fc] for a clan of size [nc]: the largest Byzantine count that still
+    leaves a strict honest majority, i.e. [⌈nc/2⌉ - 1]. *)
+
+val binomial : int -> int -> Nat.t
+(** [binomial n k] = C(n, k); 0 when [k < 0 || k > n]. Exact. *)
+
+val single_clan_failure : n:int -> f:int -> nc:int -> Rat.t
+(** Eq. 1: probability that a uniformly random [nc]-subset of a tribe with
+    [f] Byzantine members has a dishonest majority (hypergeometric upper
+    tail starting at [⌈nc/2⌉]). *)
+
+val multi_clan_failure : n:int -> f:int -> q:int -> nc:int -> Rat.t
+(** Probability that at least one of [q] disjoint random clans of size [nc]
+    lacks an honest majority (Eq. 3–7 generalised to any [q]; when
+    [q * nc = n] the tribe is exactly partitioned as in §6). Requires
+    [q * nc <= n]. For [q = 1] this coincides with {!single_clan_failure}.
+
+    Parties left over after carving out the [q] clans (when [q*nc < n])
+    belong to no clan and are unconstrained, matching sequential uniform
+    sampling without replacement. *)
+
+val min_clan_size : ?q:int -> n:int -> f:int -> threshold:Rat.t -> unit -> int option
+(** Smallest [nc] such that the (single- or multi-clan) failure probability
+    is at most [threshold]; [None] if no [nc <= n/q] (with [q] defaulting
+    to 1) achieves it. Used to regenerate Fig. 1 and the clan sizes of §7. *)
+
+(** {1 Clan election}
+
+    §7: "We distributed clan nodes evenly across GCP regions instead of
+    randomly sampling them"; both strategies are provided. *)
+
+val elect_random : Clanbft_util.Rng.t -> n:int -> nc:int -> int array
+(** Uniformly random [nc]-subset, sorted ascending. *)
+
+val elect_balanced : n:int -> nc:int -> int array
+(** The first [nc] ids — with round-robin region placement consecutive ids
+    land evenly across regions, like the paper's setup. *)
+
+val partition_random : Clanbft_util.Rng.t -> n:int -> q:int -> int array array
+(** Random partition of the tribe into [q] clans; clan sizes differ by at
+    most one. Each clan sorted ascending. *)
+
+val partition_balanced : n:int -> q:int -> int array array
+(** Deterministic partition: node [i] joins clan [i mod q]; region-balanced
+    under round-robin placement. *)

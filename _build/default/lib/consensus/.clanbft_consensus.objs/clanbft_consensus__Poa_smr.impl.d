@@ -1,0 +1,1 @@
+lib/consensus/poa_smr.ml: Array Clanbft_sim Clanbft_util Engine Hashtbl List Net Option Time

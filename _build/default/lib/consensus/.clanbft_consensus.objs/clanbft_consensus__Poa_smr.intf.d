@@ -1,0 +1,1 @@
+lib/consensus/poa_smr.mli: Clanbft_sim Engine Net Time Topology

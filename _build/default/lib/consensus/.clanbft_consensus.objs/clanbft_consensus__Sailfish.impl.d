@@ -1,0 +1,1 @@
+lib/consensus/sailfish.ml: Array Block Cert Clanbft_crypto Clanbft_dag Clanbft_sim Clanbft_types Clanbft_util Config Digest32 Hashtbl Keychain List Logs Msg Option String Transaction Vertex

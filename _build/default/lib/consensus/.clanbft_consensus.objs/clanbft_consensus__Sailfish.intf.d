@@ -1,0 +1,1 @@
+lib/consensus/sailfish.mli: Block Clanbft_crypto Clanbft_sim Clanbft_types Config Keychain Msg Transaction Vertex

@@ -1,0 +1,28 @@
+type design =
+  | Dag_sailfish
+  | Dag_sailfish_nonleader
+  | Dag_bullshark
+  | Strawman_poa
+  | Arete
+  | Autobahn
+
+let all =
+  [ Dag_sailfish; Dag_sailfish_nonleader; Dag_bullshark; Strawman_poa; Arete; Autobahn ]
+
+let name = function
+  | Dag_sailfish -> "DAG/Sailfish (leader)"
+  | Dag_sailfish_nonleader -> "DAG/Sailfish (non-leader)"
+  | Dag_bullshark -> "DAG/Bullshark"
+  | Strawman_poa -> "straw-man PoA + SMR"
+  | Arete -> "Arete (PoA + Jolteon)"
+  | Autobahn -> "Autobahn/Star (PoA + SMR)"
+
+let deltas = function
+  | Dag_sailfish -> 3 (* one 2δ RBC, plus δ of first-message votes *)
+  | Dag_sailfish_nonleader -> 5
+  | Dag_bullshark -> 4 (* two sequential RBCs *)
+  | Strawman_poa -> 6 (* 2δ PoA + 1δ queuing + 3δ commit *)
+  | Arete -> 8 (* 2δ PoA + 1δ queuing + 5δ Jolteon commit *)
+  | Autobahn -> 6
+
+let estimate_ms ~delta_ms design = float_of_int (deltas design) *. delta_ms

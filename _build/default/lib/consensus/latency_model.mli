@@ -1,0 +1,25 @@
+(** Closed-form good-case commit-latency models (§1 "A straw-man approach
+    and further challenges" and §8's comparisons).
+
+    The paper's core latency argument is architectural: a separate data
+    dissemination layer (PoA collection) is inherently sequential and adds
+    its rounds to the consensus commit path, while DAG protocols pipeline
+    dissemination into consensus. These are the bounds the paper states, in
+    units of δ (actual network delay). *)
+
+type design =
+  | Dag_sailfish  (** 1 RBC + δ = 3δ (leader vertices) — §5 *)
+  | Dag_sailfish_nonleader  (** 5δ — §7 implementation details *)
+  | Dag_bullshark  (** 2 RBC = 4δ *)
+  | Strawman_poa  (** PoA (2δ) + queuing (δ) + SMR commit (3δ) = 6δ — §1 *)
+  | Arete  (** PoA (2δ) + queuing (δ) + Jolteon (5δ) = 8δ — §8 *)
+  | Autobahn  (** PoA (2δ) + queuing (δ) + 3δ single-proposer SMR — §8 *)
+
+val all : design list
+val name : design -> string
+
+val deltas : design -> int
+(** Good-case commit latency in units of δ. *)
+
+val estimate_ms : delta_ms:float -> design -> float
+(** The bound instantiated with a concrete average one-way delay. *)

@@ -1,0 +1,209 @@
+open Clanbft_sim
+module Bitset = Clanbft_util.Bitset
+module Stats = Clanbft_util.Stats
+
+type params = { commit_depth : int; batch_interval : Time.span }
+
+let strawman = { commit_depth = 3; batch_interval = Time.ms 100. }
+let arete = { commit_depth = 5; batch_interval = Time.ms 100. }
+
+type msg =
+  | Payload of { id : int; size : int }
+  | Ack of { id : int }
+  | Poa of { id : int } (* carries a fc+1 availability certificate *)
+  | Propose of { seq : int; poas : int array }
+  | Hop of { seq : int; stage : int }
+
+let kappa = 64
+
+let msg_size ~nc = function
+  | Payload { size; _ } -> 9 + size
+  | Ack _ -> 5 + kappa
+  | Poa _ -> 5 + kappa + ((nc + 7) / 8)
+  | Propose { poas; _ } -> 9 + (Array.length poas * (4 + 32)) + kappa
+  | Hop _ -> 9 + kappa
+
+(* Per-payload dissemination state at its proposer. *)
+type payload_state = {
+  created_at : Time.t;
+  acks : Bitset.t;
+  mutable poa_sent : bool;
+}
+
+(* Per-batch ordering state at each party. *)
+type batch_state = {
+  stages : Bitset.t array; (* stage -> voters seen *)
+  sent : bool array; (* stage -> did I multicast it *)
+  mutable done_ : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  clan : int array;
+  fc1 : int; (* acks needed for a PoA *)
+  payload_bytes : int;
+  params : params;
+  engine : Engine.t;
+  net : msg Net.t;
+  leader : int;
+  payloads : (int, payload_state) Hashtbl.t; (* proposer-side *)
+  mutable next_payload : int;
+  mutable pending_poas : int list; (* leader-side queue *)
+  mutable next_seq : int;
+  batches : (int * int, batch_state) Hashtbl.t; (* (party, seq) *)
+  batch_payloads : (int, int array) Hashtbl.t; (* seq -> payload ids *)
+  commit_counts : (int, int) Hashtbl.t; (* seq -> parties committed *)
+  latencies : Stats.t;
+  mutable committed_payloads : int;
+}
+
+let engine t = t.engine
+let committed t = t.committed_payloads
+
+let mean_commit_latency_ms t =
+  if Stats.is_empty t.latencies then 0.0 else Stats.mean t.latencies
+
+let total_bytes t = Net.total_bytes t.net
+
+let quorum t = (2 * t.f) + 1
+
+let batch_of t ~party ~seq =
+  match Hashtbl.find_opt t.batches (party, seq) with
+  | Some b -> b
+  | None ->
+      let depth = t.params.commit_depth in
+      let b =
+        {
+          stages = Array.init (depth + 1) (fun _ -> Bitset.create t.n);
+          sent = Array.make (depth + 1) false;
+          done_ = false;
+        }
+      in
+      Hashtbl.replace t.batches (party, seq) b;
+      b
+
+let commit_batch t ~seq =
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.commit_counts seq) in
+  Hashtbl.replace t.commit_counts seq count;
+  if count = t.n then begin
+    (* committed everywhere: score the batch's payloads *)
+    match Hashtbl.find_opt t.batch_payloads seq with
+    | None -> ()
+    | Some ids ->
+        let now = Engine.now t.engine in
+        Array.iter
+          (fun id ->
+            match Hashtbl.find_opt t.payloads id with
+            | Some p ->
+                Stats.add t.latencies (Time.to_ms (now - p.created_at));
+                t.committed_payloads <- t.committed_payloads + 1
+            | None -> ())
+          ids
+  end
+
+(* Generalised leader-SMR commit path: Propose is hop 1 (leader -> all);
+   stages 2..depth are all-to-all vote rounds gated on 2f+1 of the previous
+   stage; a party commits on 2f+1 of the final stage. depth=3 is the
+   PBFT-style 3δ path, depth=5 is Jolteon's. *)
+let advance_stage t ~me ~seq stage =
+  let b = batch_of t ~party:me ~seq in
+  if stage <= t.params.commit_depth && not b.sent.(stage) then begin
+    b.sent.(stage) <- true;
+    Net.broadcast t.net ~src:me (Hop { seq; stage })
+  end
+
+let on_hop t ~me ~src ~seq ~stage =
+  let b = batch_of t ~party:me ~seq in
+  if (not b.done_) && stage <= t.params.commit_depth then begin
+    if Bitset.add b.stages.(stage) src then
+      if Bitset.cardinal b.stages.(stage) >= quorum t then
+        if stage = t.params.commit_depth then begin
+          b.done_ <- true;
+          commit_batch t ~seq
+        end
+        else advance_stage t ~me ~seq (stage + 1)
+  end
+
+let handle t ~me ~src msg =
+  match msg with
+  | Payload { id; _ } ->
+      (* clan member: acknowledge availability back to the proposer *)
+      Net.send t.net ~src:me ~dst:src (Ack { id })
+  | Ack { id } -> (
+      match Hashtbl.find_opt t.payloads id with
+      | Some p when not p.poa_sent ->
+          if Bitset.add p.acks src && Bitset.cardinal p.acks >= t.fc1 then begin
+            p.poa_sent <- true;
+            Net.send t.net ~src:me ~dst:t.leader (Poa { id })
+          end
+      | _ -> ())
+  | Poa { id } ->
+      if me = t.leader then t.pending_poas <- id :: t.pending_poas
+  | Propose { seq; poas } ->
+      if src = t.leader then begin
+        if not (Hashtbl.mem t.batch_payloads seq) then
+          Hashtbl.replace t.batch_payloads seq poas;
+        (* the proposal is stage 1 *)
+        advance_stage t ~me ~seq 2
+      end
+  | Hop { seq; stage } -> on_hop t ~me ~src ~seq ~stage
+
+let rec leader_tick t =
+  (match List.rev t.pending_poas with
+  | [] -> ()
+  | poas ->
+      t.pending_poas <- [];
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Net.broadcast t.net ~src:t.leader (Propose { seq; poas = Array.of_list poas }));
+  Engine.schedule_after t.engine t.params.batch_interval (fun () -> leader_tick t)
+
+let create ~n ?clan ~params ~topology ~net_config ~seed ~payload_bytes () =
+  if params.commit_depth < 2 then invalid_arg "Poa_smr: depth must be >= 2";
+  let f = (n - 1) / 3 in
+  let clan = match clan with Some c -> c | None -> Array.init n (fun i -> i) in
+  let nc = Array.length clan in
+  let fc1 = (((nc + 1) / 2) - 1) + 1 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topology ~config:net_config ~size:(msg_size ~nc)
+      ~rng:(Clanbft_util.Rng.create seed) ()
+  in
+  let t =
+    {
+      n;
+      f;
+      clan;
+      fc1;
+      payload_bytes;
+      params;
+      engine;
+      net;
+      leader = 0;
+      payloads = Hashtbl.create 256;
+      next_payload = 0;
+      pending_poas = [];
+      next_seq = 0;
+      batches = Hashtbl.create 256;
+      batch_payloads = Hashtbl.create 64;
+      commit_counts = Hashtbl.create 64;
+      latencies = Stats.create ();
+      committed_payloads = 0;
+    }
+  in
+  for me = 0 to n - 1 do
+    Net.set_handler net me (fun ~src msg -> handle t ~me ~src msg)
+  done;
+  leader_tick t;
+  t
+
+let submit_payload t ~proposer =
+  let id = t.next_payload in
+  t.next_payload <- id + 1;
+  Hashtbl.replace t.payloads id
+    { created_at = Engine.now t.engine; acks = Bitset.create t.n; poa_sent = false };
+  Array.iter
+    (fun dst ->
+      Net.send t.net ~src:proposer ~dst (Payload { id; size = t.payload_bytes }))
+    t.clan

@@ -1,0 +1,57 @@
+(** The straw-man architecture of §1 (and Arete / Autobahn of §8), built for
+    real so the latency penalty of a {e separate} data-dissemination layer
+    can be measured rather than asserted.
+
+    Pipeline per payload: the proposer disseminates the payload to the clan
+    (1δ), collects a proof of availability — [fc + 1] acknowledgements,
+    guaranteeing an honest holder — (1δ), and forwards the PoA to the
+    current SMR leader (queuing, ≥ 0δ, amortised 1δ under load). The leader
+    orders PoAs in batches through a leader-based SMR protocol whose
+    good-case commit path is [commit_depth] message delays: 3 for a
+    PBFT/Moonshot-class protocol (the straw-man's "at least 3δ"), 5 for
+    Jolteon (Arete, §8).
+
+    Benign-case model: this module exists to reproduce the latency/
+    throughput comparison, so it implements the full message flow but not
+    view change — the DAG protocols win {e despite} the straw-man being
+    given fault-free conditions. *)
+
+open Clanbft_sim
+
+type params = {
+  commit_depth : int;  (** one-way hops in the SMR commit path (3 or 5) *)
+  batch_interval : Time.span;  (** leader batching cadence *)
+}
+
+val strawman : params
+(** [commit_depth = 3]: PoA + queuing + 3δ commit = the paper's ≥ 6δ. *)
+
+val arete : params
+(** [commit_depth = 5] (Jolteon): the paper's ≥ 8δ. *)
+
+type t
+(** One experiment world (all n parties + network). *)
+
+val create :
+  n:int ->
+  ?clan:int array ->
+  params:params ->
+  topology:Topology.t ->
+  net_config:Net.config ->
+  seed:int64 ->
+  payload_bytes:int ->
+  unit ->
+  t
+
+val engine : t -> Engine.t
+
+val submit_payload : t -> proposer:int -> unit
+(** Start disseminating one payload from [proposer] at the current time. *)
+
+val committed : t -> int
+(** Payloads whose ordering batch has committed at every party. *)
+
+val mean_commit_latency_ms : t -> float
+(** Mean creation → committed-by-all latency over committed payloads. *)
+
+val total_bytes : t -> int

@@ -1,0 +1,911 @@
+open Clanbft_types
+open Clanbft_crypto
+module Bitset = Clanbft_util.Bitset
+module Engine = Clanbft_sim.Engine
+module Net = Clanbft_sim.Net
+module Time = Clanbft_sim.Time
+module Store = Clanbft_dag.Store
+
+let src_log = Logs.Src.create "clanbft.sailfish" ~doc:"Sailfish consensus"
+
+module Log = (val Logs.src_log src_log)
+
+type params = {
+  round_timeout : Time.span;
+  sync_retry : Time.span;
+  pull_budget : int;
+  gc_depth : int;
+}
+
+let default_params =
+  {
+    round_timeout = Time.ms 1_500.;
+    sync_retry = Time.ms 150.;
+    pull_budget = 8;
+    gc_depth = 64;
+  }
+
+(* Per-digest vote state within a dissemination slot: equivocating
+   proposers produce several digests, counted separately. *)
+type votes = {
+  voters : Bitset.t;
+  mutable clan_votes : int;
+  mutable shares : (int * Keychain.signature) list;
+}
+
+(* One merged vertex+block broadcast instance per (round, source). *)
+type slot = {
+  s_round : int;
+  s_source : int;
+  mutable vertex : Vertex.t option; (* content as first received *)
+  mutable block : Block.t option;
+  mutable echoed : bool;
+  mutable cert_sent : bool;
+  mutable delivered : bool; (* RBC-delivered: a valid cert seen/formed *)
+  mutable agreed : Digest32.t option; (* the certified vertex digest *)
+  echoes : votes Digest32.Tbl.t;
+  mutable fetching_vertex : bool;
+  mutable fetching_block : bool;
+  served : (int, int) Hashtbl.t; (* pull rate limiting, per peer *)
+}
+
+(* Collection of signature shares for timeout / no-vote certificates. *)
+type share_box = { signers : Bitset.t; mutable shares : (int * Keychain.signature) list }
+
+type t = {
+  me : int;
+  config : Config.t;
+  keychain : Keychain.t;
+  engine : Engine.t;
+  net : Msg.t Net.t;
+  params : params;
+  store : Store.t;
+  make_block : round:int -> Transaction.t array;
+  on_commit : leader:Vertex.t -> Vertex.t list -> unit;
+  on_block : Block.t -> unit;
+  (* dissemination *)
+  slots : (int * int, slot) Hashtbl.t;
+  pending : (int * int, Vertex.t) Hashtbl.t; (* delivered, parents missing *)
+  blocks : (int * int, Block.t) Hashtbl.t; (* available blocks I store *)
+  (* round progression *)
+  mutable round : int;
+  mutable proposed : bool; (* proposed in current round? *)
+  mutable started : bool;
+  mutable timer_epoch : int;
+  timeout_sent : (int, unit) Hashtbl.t;
+  timeout_shares : (int, share_box) Hashtbl.t;
+  no_vote_shares : (int, share_box) Hashtbl.t; (* only as leader of r+1 *)
+  tcs : (int, Cert.t) Hashtbl.t;
+  nvcs : (int, Cert.t) Hashtbl.t;
+  (* commit machinery *)
+  leader_votes : (int, Bitset.t) Hashtbl.t; (* round -> voters for its leader *)
+  commit_ready : (int, unit) Hashtbl.t; (* direct quorum reached *)
+  mutable last_committed : int;
+  ordered : (int * int, unit) Hashtbl.t;
+  mutable ordered_total : int;
+  (* weak-edge bookkeeping *)
+  covered : (int * int, unit) Hashtbl.t; (* causal history of my proposals *)
+  uncovered : (int * int, Vertex.t) Hashtbl.t;
+}
+
+let me t = t.me
+let current_round t = t.round
+let last_committed_round t = t.last_committed
+let committed_count t = t.ordered_total
+let dag_size t = Store.size t.store
+let quorum t = Config.quorum t.config
+let leader_of t round = Config.leader_of_round t.config round
+
+let slot_of t ~round ~source =
+  match Hashtbl.find_opt t.slots (round, source) with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_round = round;
+          s_source = source;
+          vertex = None;
+          block = None;
+          echoed = false;
+          cert_sent = false;
+          delivered = false;
+          agreed = None;
+          echoes = Digest32.Tbl.create 2;
+          fetching_vertex = false;
+          fetching_block = false;
+          served = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace t.slots (round, source) s;
+      s
+
+let votes_of tbl digest n =
+  match Digest32.Tbl.find_opt tbl digest with
+  | Some v -> v
+  | None ->
+      let v = { voters = Bitset.create n; clan_votes = 0; shares = [] } in
+      Digest32.Tbl.replace tbl digest v;
+      v
+
+let box_of tbl round n =
+  match Hashtbl.find_opt tbl round with
+  | Some b -> b
+  | None ->
+      let b = { signers = Bitset.create n; shares = [] } in
+      Hashtbl.replace tbl round b;
+      b
+
+let val_signing_string (v : Vertex.t) =
+  String.concat ""
+    [ "val|"; string_of_int v.round; "|"; string_of_int v.source; "|";
+      Digest32.to_raw v.digest ]
+
+(* ------------------------------------------------------------------ *)
+(* Vertex validity (checked before echoing) *)
+
+let leader_edge_ok t (v : Vertex.t) =
+  if v.round = 0 then true
+  else begin
+    let prev_leader = leader_of t (v.round - 1) in
+    let has_edge = Vertex.has_strong_edge_to v ~round:(v.round - 1) ~source:prev_leader in
+    if v.source = leader_of t v.round then
+      has_edge
+      ||
+      match v.nvc with
+      | Some c ->
+          c.kind = Cert.No_vote && c.round = v.round - 1
+          && Cert.verify t.keychain ~quorum:(quorum t) c
+      | None -> false
+    else
+      has_edge
+      ||
+      match v.tc with
+      | Some c ->
+          c.kind = Cert.Timeout && c.round = v.round - 1
+          && Cert.verify t.keychain ~quorum:(quorum t) c
+      | None -> false
+  end
+
+let vertex_valid t (v : Vertex.t) =
+  v.round >= 0
+  && v.source >= 0
+  && v.source < Config.n t.config
+  && (v.round = 0 && Array.length v.strong_edges = 0
+     || v.round > 0 && Array.length v.strong_edges >= quorum t)
+  && leader_edge_ok t v
+
+(* Does this proposer's slot carry a real block? Vertex-only proposers use
+   the zero digest. *)
+let expects_block (v : Vertex.t) =
+  not (Digest32.equal v.block_digest Digest32.zero)
+
+let in_payload_clan_of t ~proposer = Config.in_payload_clan t.config ~proposer t.me
+
+(* ------------------------------------------------------------------ *)
+(* Forward declarations via mutual recursion *)
+
+let msg_round = function
+  | Msg.Val { vertex; _ } | Msg.Vertex_reply { vertex; _ } -> vertex.Vertex.round
+  | Msg.Echo { round; _ }
+  | Msg.Echo_cert { round; _ }
+  | Msg.Timeout_share { round; _ }
+  | Msg.No_vote_share { round; _ }
+  | Msg.Block_request { round; _ }
+  | Msg.Vertex_request { round; _ } ->
+      round
+  | Msg.Timeout_cert c -> c.Cert.round
+  | Msg.Block_reply { block } -> block.Block.round
+
+let rec handle t ~src msg =
+  (* Traffic for garbage-collected rounds is dropped outright: it can no
+     longer affect the committed prefix, and processing it would recreate
+     pruned state (or try to insert below the store's floor). *)
+  if msg_round msg >= Store.floor t.store then handle_live t ~src msg
+
+and handle_live t ~src msg =
+  match msg with
+  | Msg.Val { vertex; block; signature } -> on_val t ~src vertex block signature
+  | Msg.Echo { round; source; vertex_digest; signer; signature } ->
+      if src = signer then on_echo t ~round ~source ~digest:vertex_digest ~signer ~signature
+  | Msg.Echo_cert { round; source; vertex_digest; agg; clan_echoes = _ } ->
+      on_echo_cert t ~round ~source ~digest:vertex_digest ~agg
+  | Msg.Timeout_share { round; signer; signature } ->
+      if src = signer then on_timeout_share t ~round ~signer ~signature
+  | Msg.No_vote_share { round; signer; signature } ->
+      if src = signer then on_no_vote_share t ~round ~signer ~signature
+  | Msg.Timeout_cert c -> on_timeout_cert t c
+  | Msg.Block_request { round; source } -> on_block_request t ~src ~round ~source
+  | Msg.Block_reply { block } -> on_block_reply t block
+  | Msg.Vertex_request { round; source } -> on_vertex_request t ~src ~round ~source
+  | Msg.Vertex_reply { vertex; block } -> on_vertex_reply t vertex block
+
+(* --- VAL ----------------------------------------------------------- *)
+
+and on_val t ~src (v : Vertex.t) block signature =
+  if
+    v.source = src
+    && Keychain.verify t.keychain ~signer:src (val_signing_string v) signature
+    && vertex_valid t v
+  then begin
+    let slot = slot_of t ~round:v.round ~source:v.source in
+    register_vote t v;
+    if slot.vertex = None then begin
+      (* If a certificate already landed (the cert can outrun a VAL stuck
+         in the sender's uplink queue), only the certified content is
+         acceptable. *)
+      let acceptable =
+        match slot.agreed with
+        | Some d -> Digest32.equal v.digest d
+        | None -> true
+      in
+      if acceptable then begin
+        slot.vertex <- Some v;
+        (match block with
+        | Some b
+          when in_payload_clan_of t ~proposer:v.source
+               && Digest32.equal (Block.digest b) v.block_digest ->
+            slot.block <- Some b
+        | _ -> ());
+        maybe_echo t slot;
+        if slot.delivered then begin
+          vertex_available t slot v;
+          maybe_fetch_block t slot
+        end
+      end
+    end
+  end
+
+and maybe_echo t slot =
+  match slot.vertex with
+  | None -> ()
+  | Some v ->
+      if not slot.echoed then begin
+        (* Clan members echo only once they hold both the vertex and its
+           block (§5); everybody else echoes on the vertex alone. *)
+        let block_ok =
+          (not (expects_block v))
+          || (not (in_payload_clan_of t ~proposer:v.source))
+          || slot.block <> None
+        in
+        if block_ok then begin
+          slot.echoed <- true;
+          let signature =
+            Keychain.sign t.keychain ~signer:t.me
+              (Msg.echo_signing_string ~round:v.round ~source:v.source v.digest)
+          in
+          Net.broadcast t.net ~src:t.me
+            (Msg.Echo
+               {
+                 round = v.round;
+                 source = v.source;
+                 vertex_digest = v.digest;
+                 signer = t.me;
+                 signature;
+               })
+        end
+      end
+
+(* --- ECHO / certificate -------------------------------------------- *)
+
+and on_echo t ~round ~source ~digest ~signer ~signature =
+  let msg = Msg.echo_signing_string ~round ~source digest in
+  if Keychain.verify t.keychain ~signer msg signature then begin
+    let slot = slot_of t ~round ~source in
+    let v = votes_of slot.echoes digest (Config.n t.config) in
+    if Bitset.add v.voters signer then begin
+      if Config.in_payload_clan t.config ~proposer:source signer then
+        v.clan_votes <- v.clan_votes + 1;
+      v.shares <- (signer, signature) :: v.shares;
+      let clan_needed = Config.clan_echo_threshold t.config ~proposer:source in
+      if
+        (not slot.cert_sent)
+        && Bitset.cardinal v.voters >= quorum t
+        && v.clan_votes >= clan_needed
+      then begin
+        slot.cert_sent <- true;
+        match Keychain.aggregate t.keychain ~msg v.shares with
+        | None -> ()
+        | Some agg ->
+            Net.broadcast t.net ~src:t.me
+              (Msg.Echo_cert
+                 {
+                   round;
+                   source;
+                   vertex_digest = digest;
+                   agg;
+                   clan_echoes = v.clan_votes;
+                 });
+            certified t slot digest
+      end
+    end
+  end
+
+and on_echo_cert t ~round ~source ~digest ~agg =
+  let slot = slot_of t ~round ~source in
+  if not slot.delivered then begin
+    let signers = Keychain.signers agg in
+    let total = Bitset.cardinal signers in
+    let clan_count =
+      match Config.payload_clan t.config ~proposer:source with
+      | None -> total
+      | Some members ->
+          Array.fold_left
+            (fun acc m -> if Bitset.mem signers m then acc + 1 else acc)
+            0 members
+    in
+    let msg = Msg.echo_signing_string ~round ~source digest in
+    if
+      total >= quorum t
+      && clan_count >= Config.clan_echo_threshold t.config ~proposer:source
+      && Keychain.verify_aggregate t.keychain ~msg agg
+    then certified t slot digest
+  end
+
+(* The slot's vertex digest is certified: the RBC instance completes. *)
+and certified t slot digest =
+  if not slot.delivered then begin
+    slot.delivered <- true;
+    slot.agreed <- Some digest;
+    (* Discard an equivocator's non-certified copy. *)
+    (match slot.vertex with
+    | Some v when not (Digest32.equal v.digest digest) ->
+        slot.vertex <- None;
+        slot.block <- None
+    | _ -> ());
+    (match slot.vertex with
+    | Some v -> vertex_available t slot v
+    | None -> fetch_vertex t slot);
+    maybe_fetch_block t slot
+  end
+
+(* --- vertex availability, DAG insertion ----------------------------- *)
+
+and vertex_available t slot (v : Vertex.t) =
+  (* Called once the slot is delivered AND the content is at hand. *)
+  if slot.delivered then begin
+    (match slot.block with
+    | Some b when expects_block v -> block_available t slot b
+    | _ -> ());
+    try_insert t v
+  end
+
+and try_insert t (v : Vertex.t) =
+  if not (Store.mem t.store ~round:v.round ~source:v.source) then begin
+    match Store.missing_parents t.store v with
+    | [] -> insert t v
+    | missing ->
+        if not (Hashtbl.mem t.pending (v.round, v.source)) then begin
+          Hashtbl.replace t.pending (v.round, v.source) v;
+          request_parents t v missing
+        end
+  end
+
+and insert t (v : Vertex.t) =
+  Store.add t.store v;
+  Hashtbl.remove t.pending (v.round, v.source);
+  if not (Hashtbl.mem t.covered (v.round, v.source)) then
+    Hashtbl.replace t.uncovered (v.round, v.source) v;
+  (* A newly inserted vertex may unblock pending children. *)
+  let unblocked =
+    Hashtbl.fold
+      (fun _ child acc ->
+        if Store.missing_parents t.store child = [] then child :: acc else acc)
+      t.pending []
+  in
+  List.iter (fun child -> insert t child) unblocked;
+  try_commit t;
+  maybe_advance t
+
+(* --- missing data sync ---------------------------------------------- *)
+
+and request_parents t (child : Vertex.t) missing =
+  List.iter
+    (fun (r : Vertex.vref) ->
+      let slot = slot_of t ~round:r.round ~source:r.source in
+      if slot.vertex = None && not slot.fetching_vertex then begin
+        slot.fetching_vertex <- true;
+        (* Ask the child's proposer first (it certainly held the parent),
+           falling back to the parent's own source. *)
+        vertex_fetch_loop t slot [ child.source; r.source ]
+      end)
+    missing
+
+and fetch_vertex t slot =
+  if not slot.fetching_vertex then begin
+    slot.fetching_vertex <- true;
+    (* Anyone who echoed the certified digest has seen the vertex. *)
+    let candidates =
+      match slot.agreed with
+      | Some d -> (
+          match Digest32.Tbl.find_opt slot.echoes d with
+          | Some v -> List.filter (fun i -> i <> t.me) (Bitset.to_list v.voters)
+          | None -> [])
+      | None -> []
+    in
+    let candidates =
+      if candidates = [] then [ slot.s_source ] else candidates
+    in
+    vertex_fetch_loop t slot candidates
+  end
+
+and vertex_fetch_loop t slot candidates =
+  if slot.vertex = None && slot.s_round >= Store.floor t.store then
+    match candidates with
+    | [] ->
+        (* Start over after a beat — delivery guarantees someone has it. *)
+        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+            slot.fetching_vertex <- false;
+            if slot.vertex = None then fetch_vertex t slot)
+    | target :: rest ->
+        Net.send t.net ~src:t.me ~dst:target
+          (Msg.Vertex_request { round = slot.s_round; source = slot.s_source });
+        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+            vertex_fetch_loop t slot rest)
+
+and maybe_fetch_block t slot =
+  match slot.vertex with
+  | Some v
+    when slot.delivered && slot.block = None && expects_block v
+         && in_payload_clan_of t ~proposer:v.source && not slot.fetching_block
+    ->
+      slot.fetching_block <- true;
+      let clan =
+        match Config.payload_clan t.config ~proposer:v.source with
+        | Some members -> Array.to_list members
+        | None -> []
+      in
+      block_fetch_loop t slot (List.filter (fun i -> i <> t.me) clan)
+  | _ -> ()
+
+and block_fetch_loop t slot candidates =
+  if slot.block = None && slot.s_round >= Store.floor t.store then
+    match candidates with
+    | [] ->
+        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+            slot.fetching_block <- false;
+            maybe_fetch_block t slot)
+    | target :: rest ->
+        Net.send t.net ~src:t.me ~dst:target
+          (Msg.Block_request { round = slot.s_round; source = slot.s_source });
+        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+            block_fetch_loop t slot rest)
+
+and on_block_request t ~src ~round ~source =
+  let slot = slot_of t ~round ~source in
+  match slot.block with
+  | Some block ->
+      let served = Option.value ~default:0 (Hashtbl.find_opt slot.served src) in
+      if served < t.params.pull_budget then begin
+        Hashtbl.replace slot.served src (served + 1);
+        Net.send t.net ~src:t.me ~dst:src (Msg.Block_reply { block })
+      end
+  | None -> ()
+
+and on_block_reply t (b : Block.t) =
+  let slot = slot_of t ~round:b.round ~source:b.proposer in
+  match slot.vertex with
+  | Some v
+    when slot.block = None
+         && Digest32.equal (Block.digest b) v.block_digest
+         && in_payload_clan_of t ~proposer:b.proposer ->
+      slot.block <- Some b;
+      block_available t slot b
+  | _ -> ()
+
+and block_available t slot b =
+  if not (Hashtbl.mem t.blocks (slot.s_round, slot.s_source)) then begin
+    Hashtbl.replace t.blocks (slot.s_round, slot.s_source) b;
+    t.on_block b
+  end
+
+and on_vertex_request t ~src ~round ~source =
+  let slot = slot_of t ~round ~source in
+  match slot.vertex with
+  | Some vertex when slot.delivered ->
+      let served = Option.value ~default:0 (Hashtbl.find_opt slot.served src) in
+      if served < t.params.pull_budget then begin
+        Hashtbl.replace slot.served src (served + 1);
+        let block =
+          if Config.in_payload_clan t.config ~proposer:source src then slot.block
+          else None
+        in
+        Net.send t.net ~src:t.me ~dst:src (Msg.Vertex_reply { vertex; block })
+      end
+  | _ -> ()
+
+and on_vertex_reply t (v : Vertex.t) block =
+  let slot = slot_of t ~round:v.round ~source:v.source in
+  if slot.vertex = None && vertex_valid t v then begin
+    (* Accept only content matching the certified digest (if certified) or
+       buffer it as the first copy otherwise. *)
+    let acceptable =
+      match slot.agreed with
+      | Some d -> Digest32.equal v.digest d
+      | None -> true
+    in
+    if acceptable then begin
+      slot.vertex <- Some v;
+      register_vote t v;
+      (match block with
+      | Some b
+        when in_payload_clan_of t ~proposer:v.source
+             && Digest32.equal (Block.digest b) v.block_digest ->
+          slot.block <- Some b
+      | _ -> ());
+      maybe_echo t slot;
+      if slot.delivered then begin
+        vertex_available t slot v;
+        maybe_fetch_block t slot
+      end
+    end
+  end
+
+(* --- leader votes and commits --------------------------------------- *)
+
+and register_vote t (v : Vertex.t) =
+  if v.round > 0 then begin
+    let prev = v.round - 1 in
+    let lead = leader_of t prev in
+    if Vertex.has_strong_edge_to v ~round:prev ~source:lead then begin
+      let votes =
+        match Hashtbl.find_opt t.leader_votes prev with
+        | Some b -> b
+        | None ->
+            let b = Bitset.create (Config.n t.config) in
+            Hashtbl.replace t.leader_votes prev b;
+            b
+      in
+      if Bitset.add votes v.source then
+        if Bitset.cardinal votes >= quorum t then begin
+          if not (Hashtbl.mem t.commit_ready prev) then begin
+            Hashtbl.replace t.commit_ready prev ();
+            try_commit t
+          end
+        end
+    end
+  end
+
+and try_commit t =
+  (* Process direct-commit-ready leader rounds in ascending order; each one
+     drags in skipped leaders reachable by strong paths (indirect rule). *)
+  let rec next_ready r best =
+    (* find the highest ready round whose leader vertex is present *)
+    if r > Store.highest_round t.store + 1 then best
+    else begin
+      let best =
+        if
+          Hashtbl.mem t.commit_ready r
+          && Store.mem t.store ~round:r ~source:(leader_of t r)
+        then Some r
+        else best
+      in
+      next_ready (r + 1) best
+    end
+  in
+  match next_ready (t.last_committed + 1) None with
+  | None -> ()
+  | Some r ->
+      let leader_vertex s =
+        Store.find t.store ~round:s ~source:(leader_of t s)
+      in
+      let anchor = Option.get (leader_vertex r) in
+      (* Walk back across skipped rounds collecting indirectly committed
+         leaders. *)
+      let chain = ref [ anchor ] in
+      let current = ref anchor in
+      for s = r - 1 downto t.last_committed + 1 do
+        match leader_vertex s with
+        | Some l
+          when Store.strong_path t.store !current ~round:s ~source:l.source ->
+            chain := l :: !chain;
+            current := l
+        | _ -> ()
+      done;
+      List.iter
+        (fun (l : Vertex.t) ->
+          let history =
+            Store.causal_history t.store l ~skip:(fun ~round ~source ->
+                Hashtbl.mem t.ordered (round, source))
+          in
+          List.iter
+            (fun (v : Vertex.t) ->
+              Hashtbl.replace t.ordered (v.round, v.source) ())
+            history;
+          t.ordered_total <- t.ordered_total + List.length history;
+          Log.debug (fun m ->
+              m "node %d commits leader r%d (%d vertices)" t.me l.round
+                (List.length history));
+          t.on_commit ~leader:l history)
+        !chain;
+      t.last_committed <- r;
+      garbage_collect t;
+      try_commit t
+
+and garbage_collect t =
+  let horizon = t.last_committed - t.params.gc_depth in
+  if horizon > 0 then begin
+    Store.prune_below t.store ~round:horizon;
+    let drop_below tbl =
+      let doomed =
+        Hashtbl.fold
+          (fun ((r, _) as k) _ acc -> if r < horizon then k :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) doomed
+    in
+    drop_below t.ordered;
+    drop_below t.covered;
+    drop_below t.uncovered;
+    drop_below t.blocks;
+    drop_below t.pending;
+    let drop_slots =
+      Hashtbl.fold
+        (fun ((r, _) as k) _ acc -> if r < horizon then k :: acc else acc)
+        t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) drop_slots;
+    let drop_rounds tbl =
+      let doomed =
+        Hashtbl.fold (fun r _ acc -> if r < horizon then r :: acc else acc) tbl []
+      in
+      List.iter (Hashtbl.remove tbl) doomed
+    in
+    drop_rounds t.leader_votes;
+    drop_rounds t.commit_ready;
+    drop_rounds t.timeout_shares;
+    drop_rounds t.no_vote_shares;
+    drop_rounds t.tcs;
+    drop_rounds t.nvcs;
+    drop_rounds t.timeout_sent;
+    (* Raising the floor may satisfy a pending vertex whose only missing
+       parents were just pruned (references below the floor count as
+       present). *)
+    let unblocked =
+      Hashtbl.fold
+        (fun _ v acc ->
+          if Store.missing_parents t.store v = [] then v :: acc else acc)
+        t.pending []
+    in
+    List.iter (fun v -> insert t v) unblocked
+  end
+
+(* --- round progression ---------------------------------------------- *)
+
+and maybe_advance t =
+  if t.started then begin
+    let r = t.round in
+    if
+      Store.count_at t.store r >= quorum t
+      && (Store.mem t.store ~round:r ~source:(leader_of t r)
+         || Hashtbl.mem t.tcs r)
+    then advance t (r + 1)
+    else maybe_propose t
+  end
+
+and advance t r =
+  if r > t.round then begin
+    t.round <- r;
+    t.proposed <- false;
+    arm_timer t;
+    maybe_propose t;
+    (* Catch up if successor rounds are already complete. *)
+    maybe_advance t
+  end
+
+and maybe_propose t =
+  if t.started && not t.proposed then begin
+    let r = t.round in
+    if r = 0 then propose t r
+    else begin
+      let prev_leader = leader_of t (r - 1) in
+      let have_leader = Store.mem t.store ~round:(r - 1) ~source:prev_leader in
+      if t.me = leader_of t r && not have_leader then begin
+        (* The round leader may only propose without an edge to the previous
+           leader when it holds a no-vote certificate; otherwise it waits
+           for whichever arrives first. *)
+        if Hashtbl.mem t.nvcs (r - 1) then propose t r
+      end
+      else propose t r
+    end
+  end
+
+(* Mark every vertex reachable from [refs] as covered by my proposals, so
+   it never needs a weak edge from me again. Amortised O(1) per vertex. *)
+and mark_covered t refs =
+  let rec visit (r : Vertex.vref) =
+    if not (Hashtbl.mem t.covered (r.round, r.source)) then begin
+      Hashtbl.replace t.covered (r.round, r.source) ();
+      Hashtbl.remove t.uncovered (r.round, r.source);
+      match Store.find_ref t.store r with
+      | Some v ->
+          Array.iter visit v.strong_edges;
+          Array.iter visit v.weak_edges
+      | None -> ()
+    end
+  in
+  List.iter visit refs
+
+and propose t r =
+  t.proposed <- true;
+  let strong_edges =
+    if r = 0 then [||]
+    else
+      Store.vertices_at t.store (r - 1) |> List.map Vertex.ref_of |> Array.of_list
+  in
+  mark_covered t (Array.to_list strong_edges);
+  (* Weak edges: everything delivered that my causal history still misses
+     (older than the strong-edge round), so total ordering reaches it. *)
+  let weak_edges =
+    Hashtbl.fold
+      (fun (round, _) v acc -> if round < r - 1 then v :: acc else acc)
+      t.uncovered []
+    |> List.sort (fun (a : Vertex.t) b ->
+           Vertex.Id.compare (a.round, a.source) (b.round, b.source))
+    |> List.map Vertex.ref_of
+    |> Array.of_list
+  in
+  mark_covered t (Array.to_list weak_edges);
+  let prev_leader_edge =
+    r > 0
+    && Array.exists
+         (fun (e : Vertex.vref) -> e.source = leader_of t (r - 1))
+         strong_edges
+  in
+  let nvc =
+    if r > 0 && t.me = leader_of t r && not prev_leader_edge then
+      Hashtbl.find_opt t.nvcs (r - 1)
+    else None
+  in
+  let tc =
+    if r > 0 && t.me <> leader_of t r && not prev_leader_edge then
+      Hashtbl.find_opt t.tcs (r - 1)
+    else None
+  in
+  let block =
+    if Config.is_block_proposer t.config t.me then
+      Some (Block.make ~proposer:t.me ~round:r ~txns:(t.make_block ~round:r))
+    else None
+  in
+  let block_digest =
+    match block with Some b -> Block.digest b | None -> Digest32.zero
+  in
+  let vertex =
+    Vertex.make ~round:r ~source:t.me ~block_digest ~strong_edges ~weak_edges
+      ?nvc ?tc ()
+  in
+  let signature =
+    Keychain.sign t.keychain ~signer:t.me (val_signing_string vertex)
+  in
+  Log.debug (fun m ->
+      m "node %d proposes r%d (%d strong, %d weak)" t.me r
+        (Array.length strong_edges) (Array.length weak_edges));
+  for dst = 0 to Config.n t.config - 1 do
+    let block_copy =
+      match block with
+      | Some _ when Config.in_payload_clan t.config ~proposer:t.me dst -> block
+      | Some _ | None -> None
+    in
+    Net.send t.net ~src:t.me ~dst
+      (Msg.Val { vertex; block = block_copy; signature })
+  done
+
+and arm_timer t =
+  t.timer_epoch <- t.timer_epoch + 1;
+  let epoch = t.timer_epoch in
+  let r = t.round in
+  Engine.schedule_after t.engine t.params.round_timeout (fun () ->
+      if t.timer_epoch = epoch && t.round = r then on_round_timeout t r)
+
+and on_round_timeout t r =
+  if not (Hashtbl.mem t.timeout_sent r) then begin
+    Hashtbl.replace t.timeout_sent r ();
+    let signature =
+      Keychain.sign t.keychain ~signer:t.me (Cert.signing_string Cert.Timeout r)
+    in
+    Net.broadcast t.net ~src:t.me
+      (Msg.Timeout_share { round = r; signer = t.me; signature });
+    (* If this round's leader never showed, tell the next leader we are not
+       voting for it. *)
+    if not (Store.mem t.store ~round:r ~source:(leader_of t r)) then begin
+      let nv =
+        Keychain.sign t.keychain ~signer:t.me (Cert.signing_string Cert.No_vote r)
+      in
+      Net.send t.net ~src:t.me ~dst:(leader_of t (r + 1))
+        (Msg.No_vote_share { round = r; signer = t.me; signature = nv })
+    end
+  end
+
+and on_timeout_share t ~round ~signer ~signature =
+  if Keychain.verify t.keychain ~signer (Cert.signing_string Cert.Timeout round) signature
+  then begin
+    let box = box_of t.timeout_shares round (Config.n t.config) in
+    if Bitset.add box.signers signer then begin
+      box.shares <- (signer, signature) :: box.shares;
+      if Bitset.cardinal box.signers = quorum t && not (Hashtbl.mem t.tcs round)
+      then
+        match Cert.make t.keychain Cert.Timeout ~round box.shares with
+        | Some c ->
+            Hashtbl.replace t.tcs round c;
+            Net.broadcast t.net ~src:t.me (Msg.Timeout_cert c);
+            maybe_advance t
+        | None -> ()
+    end
+  end
+
+and on_timeout_cert t (c : Cert.t) =
+  if
+    c.kind = Cert.Timeout
+    && (not (Hashtbl.mem t.tcs c.round))
+    && Cert.verify t.keychain ~quorum:(quorum t) c
+  then begin
+    Hashtbl.replace t.tcs c.round c;
+    maybe_advance t
+  end
+
+and on_no_vote_share t ~round ~signer ~signature =
+  if
+    t.me = leader_of t (round + 1)
+    && Keychain.verify t.keychain ~signer
+         (Cert.signing_string Cert.No_vote round)
+         signature
+  then begin
+    let box = box_of t.no_vote_shares round (Config.n t.config) in
+    if Bitset.add box.signers signer then begin
+      box.shares <- (signer, signature) :: box.shares;
+      if
+        Bitset.cardinal box.signers = quorum t
+        && not (Hashtbl.mem t.nvcs round)
+      then
+        match Cert.make t.keychain Cert.No_vote ~round box.shares with
+        | Some c ->
+            Hashtbl.replace t.nvcs round c;
+            maybe_propose t
+        | None -> ()
+    end
+  end
+
+let start t =
+  t.started <- true;
+  arm_timer t;
+  maybe_propose t
+
+let block_of t ~round ~source = Hashtbl.find_opt t.blocks (round, source)
+let vertex_of t ~round ~source = Store.find t.store ~round ~source
+
+let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
+    ~make_block ~on_commit ?(on_block = fun _ -> ()) () =
+  let t =
+    {
+      me;
+      config;
+      keychain;
+      engine;
+      net;
+      params;
+      store = Store.create ~n:(Config.n config);
+      make_block;
+      on_commit;
+      on_block;
+      slots = Hashtbl.create 256;
+      pending = Hashtbl.create 16;
+      blocks = Hashtbl.create 256;
+      round = 0;
+      proposed = false;
+      started = false;
+      timer_epoch = 0;
+      timeout_sent = Hashtbl.create 8;
+      timeout_shares = Hashtbl.create 8;
+      no_vote_shares = Hashtbl.create 8;
+      tcs = Hashtbl.create 8;
+      nvcs = Hashtbl.create 8;
+      leader_votes = Hashtbl.create 64;
+      commit_ready = Hashtbl.create 64;
+      last_committed = -1;
+      ordered = Hashtbl.create 1024;
+      ordered_total = 0;
+      covered = Hashtbl.create 1024;
+      uncovered = Hashtbl.create 64;
+    }
+  in
+  Net.set_handler net me (fun ~src msg -> handle t ~src msg);
+  t

@@ -1,0 +1,88 @@
+(** Sailfish-style DAG BFT consensus with clan-based dissemination.
+
+    One module implements all three protocols of the evaluation (§7): the
+    {!Clanbft_types.Config.dissemination} mode selects between baseline
+    Sailfish ([Full]), single-clan Sailfish and multi-clan Sailfish; the
+    consensus logic — DAG construction, leader commit rule, total ordering —
+    is byte-for-byte identical across modes, exactly as the paper's generic
+    technique prescribes ("the DAG construction, commit, and ordering rules
+    remain unchanged").
+
+    {2 Dissemination}
+
+    Each (round, source) slot runs one merged broadcast instance (§5):
+    round-optimal signed RBC for the vertex fused with the two-round
+    tribe-assisted RBC for the block. VAL carries the vertex to everyone and
+    the block only to the proposer's payload clan; clan members ECHO only
+    once they hold {e both}; an ECHO certificate (2f+1 ECHOs, ≥ fc+1 from
+    the clan) completes delivery. Missing blocks and vertices are pulled off
+    the critical path and never block round progression.
+
+    {2 Consensus rules}
+
+    Round-robin leaders. A party advances from round r on delivering 2f+1
+    round-r vertices including the leader's — or, after its timer fires, on
+    a timeout certificate. Round-(r+1) vertices vote for the round-r leader
+    by carrying a strong edge to it; a leader vertex commits {e directly}
+    when 2f+1 round-(r+1) VAL messages with such an edge arrive (1 RBC + δ
+    — Sailfish's 3δ path), and {e indirectly} when a later committed leader
+    reaches it by strong paths. Committing a leader totally orders its
+    not-yet-ordered causal history by ascending (round, source). The
+    round-(r+1) leader proposes without an edge to the round-r leader only
+    with a no-vote certificate; non-leaders justify a missing leader edge
+    with a timeout certificate (Fig. 4's [nvc] / [tc] fields). *)
+
+open Clanbft_types
+open Clanbft_crypto
+
+type params = {
+  round_timeout : Clanbft_sim.Time.span;
+      (** timer before a party gives up on a round's leader *)
+  sync_retry : Clanbft_sim.Time.span;
+      (** re-request cadence for missing blocks / vertices *)
+  pull_budget : int;  (** served pulls per (slot, peer): rate limiting *)
+  gc_depth : int;  (** rounds kept below the last committed leader *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  me:int ->
+  config:Config.t ->
+  keychain:Keychain.t ->
+  engine:Clanbft_sim.Engine.t ->
+  net:Msg.t Clanbft_sim.Net.t ->
+  ?params:params ->
+  make_block:(round:int -> Transaction.t array) ->
+  on_commit:(leader:Vertex.t -> Vertex.t list -> unit) ->
+  ?on_block:(Block.t -> unit) ->
+  unit ->
+  t
+(** Wires the node to the network (installs its handler) but does not start
+    it. [make_block] is the mempool hook, called once per round this node
+    proposes a block in. [on_commit] receives each newly committed leader
+    and its newly ordered causal history (ascending (round, source)) —
+    the a_deliver stream. [on_block] fires whenever a block this node
+    stores becomes locally available (dissemination or pull). *)
+
+val start : t -> unit
+(** Propose the round-0 vertex and arm the first timer. *)
+
+val me : t -> int
+val current_round : t -> int
+val last_committed_round : t -> int
+val committed_count : t -> int
+(** Total vertices ordered so far. *)
+
+val block_of : t -> round:int -> source:int -> Block.t option
+(** Locally available blocks (clan members only, in clan modes). *)
+
+val dag_size : t -> int
+
+(** Low-level hooks for fault-injection tests: a Byzantine "node" is built
+    by driving the network directly, but tests also need to peek at honest
+    state. *)
+
+val vertex_of : t -> round:int -> source:int -> Vertex.t option

@@ -1,0 +1,1 @@
+lib/crypto/digest32.ml: Char Clanbft_util Format Hashtbl Map Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Array Bytes Char Clanbft_util Hashtbl List Sha256 Stdlib String

@@ -1,0 +1,118 @@
+module Bitset = Clanbft_util.Bitset
+
+type t = {
+  secrets : string array;
+  (* Signature memo: a broadcast signature is verified once by each of n
+     receivers; computing the simulated tag once per (signer, message) and
+     serving the rest from this table keeps large simulations affordable.
+     Bounded: reset wholesale when it grows past [cache_limit]. *)
+  sig_cache : (int * string, string) Hashtbl.t;
+}
+
+type signature = string
+
+type aggregate = {
+  tag : string; (* combined tag: XOR of constituent signature bytes *)
+  who : Bitset.t;
+  (* The simulation keeps the constituents so that [find_faulty_signers]
+     can re-check them individually, as a real implementation would by
+     re-verifying each partial BLS signature. They are NOT accounted on the
+     wire. *)
+  parts : (int * signature) list;
+  (* Expected-tag memo: one aggregate object is broadcast to n receivers;
+     recomputing its expected tag per receiver would be O(n * quorum)
+     hashes. *)
+  mutable expected : string option;
+}
+
+let cache_limit = 1 lsl 20
+
+let signature_size = 64
+
+let create ~seed ~n =
+  let rng = Clanbft_util.Rng.create seed in
+  let secrets =
+    Array.init n (fun i ->
+        ignore i;
+        Bytes.unsafe_to_string (Clanbft_util.Rng.bytes rng 32))
+  in
+  { secrets; sig_cache = Hashtbl.create 4096 }
+
+let n t = Array.length t.secrets
+
+let sign t ~signer msg =
+  if signer < 0 || signer >= n t then invalid_arg "Keychain.sign: bad signer";
+  let key = (signer, msg) in
+  match Hashtbl.find_opt t.sig_cache key with
+  | Some s -> s
+  | None ->
+      if Hashtbl.length t.sig_cache > cache_limit then
+        Hashtbl.reset t.sig_cache;
+      let s = Sha256.digest_string (t.secrets.(signer) ^ msg) in
+      Hashtbl.replace t.sig_cache key s;
+      s
+
+let verify t ~signer msg signature =
+  signer >= 0 && signer < n t && String.equal signature (sign t ~signer msg)
+
+let forge = String.make 32 '\xff'
+
+let xor_into acc s =
+  let out = Bytes.of_string acc in
+  for i = 0 to min (Bytes.length out) (String.length s) - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get out i) lxor Char.code s.[i]))
+  done;
+  Bytes.unsafe_to_string out
+
+let aggregate t ~msg parts =
+  ignore msg;
+  let total = n t in
+  let who = Bitset.create total in
+  let ok =
+    List.for_all
+      (fun (signer, _) -> signer >= 0 && signer < total && Bitset.add who signer)
+      parts
+  in
+  if not ok then None
+  else begin
+    let tag =
+      List.fold_left (fun acc (_, s) -> xor_into acc s) (String.make 32 '\x00')
+        parts
+    in
+    Some { tag; who; parts; expected = None }
+  end
+
+let expected_tag t ~msg agg =
+  match agg.expected with
+  | Some e -> e
+  | None ->
+      let e =
+        Bitset.fold
+          (fun signer acc -> xor_into acc (sign t ~signer msg))
+          agg.who
+          (String.make 32 '\x00')
+      in
+      agg.expected <- Some e;
+      e
+
+let verify_aggregate t ~msg agg = String.equal agg.tag (expected_tag t ~msg agg)
+
+let find_faulty_signers t ~msg agg =
+  if verify_aggregate t ~msg agg then []
+  else
+    List.filter_map
+      (fun (signer, s) ->
+        if verify t ~signer msg s then None else Some signer)
+      agg.parts
+    |> List.sort_uniq Stdlib.compare
+
+let signers agg = agg.who
+let aggregate_size t = signature_size + ((n t + 7) / 8)
+let aggregate_tag agg = agg.tag
+let aggregate_of_wire ~tag ~signers =
+  { tag; who = signers; parts = []; expected = None }
+let signature_to_raw s = s
+
+let signature_of_raw s =
+  if String.length s <> 32 then invalid_arg "Keychain.signature_of_raw";
+  s

@@ -1,0 +1,72 @@
+(** Simulated digital signatures and BLS-style multi-signatures.
+
+    The sealed container offers no elliptic-curve library, so signatures are
+    simulated: party [i]'s signature on [msg] is
+    [SHA-256(sk_i ‖ msg)] and the verifier recomputes it through the shared
+    {!t} registry (the simulation stand-in for a PKI). Within the simulator
+    this is unforgeable for any adversary that does not hold [sk_i], which is
+    exactly the guarantee consensus needs. Byte sizes on the wire are
+    accounted separately and match the paper's BLS setting: an individual
+    signature costs κ bytes and an aggregate costs κ bytes plus an
+    ⌈n/8⌉-byte signer bitvector (§4: "merely a bit vector indicating who
+    voted").
+
+    Aggregate verification follows the paper's optimisation: the aggregate is
+    checked as a whole first; only on mismatch are the constituent signatures
+    checked individually to expose the faulty signer. *)
+
+type t
+(** A key registry for [n] parties. *)
+
+type signature
+
+type aggregate
+(** A multi-signature: one combined tag plus the signer set. *)
+
+val create : seed:int64 -> n:int -> t
+val n : t -> int
+
+val sign : t -> signer:int -> string -> signature
+val verify : t -> signer:int -> string -> signature -> bool
+
+val forge : signature
+(** An invalid signature, for Byzantine behaviours in tests. *)
+
+val signature_size : int
+(** Wire bytes of one signature (κ = 64, covering hash- and signature-size
+    as the paper does). *)
+
+val aggregate : t -> msg:string -> (int * signature) list -> aggregate option
+(** Combine signatures on [msg]. Mirrors the paper's flow: aggregation never
+    fails (no upfront verification) — this function returns [None] only if a
+    signer index is out of range. The aggregate may later fail
+    verification if a constituent was forged. *)
+
+val verify_aggregate : t -> msg:string -> aggregate -> bool
+
+val find_faulty_signers : t -> msg:string -> aggregate -> int list
+(** Individual re-verification after an aggregate failure: the paper's
+    "identify and penalize the faulty party" path. Empty when the aggregate
+    is actually valid. *)
+
+val signers : aggregate -> Clanbft_util.Bitset.t
+val aggregate_size : t -> int
+(** κ + ⌈n/8⌉ bytes. *)
+
+(** {1 Wire access}
+
+    For the binary codec: an aggregate travels as its combined tag plus the
+    signer bitvector. The constituent shares are a local aggregation aid and
+    never hit the wire, so a decoded aggregate supports {!verify_aggregate}
+    but reports no faulty signers. *)
+
+val aggregate_tag : aggregate -> string
+(** The 32-byte combined tag. *)
+
+val aggregate_of_wire : tag:string -> signers:Clanbft_util.Bitset.t -> aggregate
+
+val signature_to_raw : signature -> string
+(** The 32-byte tag (wire accounting still charges κ = 64). *)
+
+val signature_of_raw : string -> signature
+(** Raises [Invalid_argument] unless given 32 bytes. *)

@@ -1,0 +1,1 @@
+lib/dag/store.ml: Array Clanbft_crypto Clanbft_types Hashtbl List Vertex

@@ -1,0 +1,1 @@
+lib/dag/store.mli: Clanbft_types Vertex

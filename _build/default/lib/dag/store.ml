@@ -1,0 +1,138 @@
+open Clanbft_types
+
+type t = {
+  n : int;
+  rounds : (int, Vertex.t option array) Hashtbl.t; (* round -> slot per source *)
+  counts : (int, int ref) Hashtbl.t;
+  mutable highest : int;
+  mutable floor : int; (* rounds below this were pruned *)
+  mutable size : int;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Store.create: n must be positive";
+  { n; rounds = Hashtbl.create 64; counts = Hashtbl.create 64; highest = -1; floor = 0; size = 0 }
+
+let n t = t.n
+
+let slots t round =
+  match Hashtbl.find_opt t.rounds round with
+  | Some a -> a
+  | None ->
+      let a = Array.make t.n None in
+      Hashtbl.replace t.rounds round a;
+      a
+
+let find t ~round ~source =
+  if source < 0 || source >= t.n then None
+  else
+    match Hashtbl.find_opt t.rounds round with
+    | None -> None
+    | Some a -> a.(source)
+
+let mem t ~round ~source = find t ~round ~source <> None
+
+let find_ref t (r : Vertex.vref) =
+  match find t ~round:r.round ~source:r.source with
+  | Some v when Clanbft_crypto.Digest32.equal v.digest r.digest -> Some v
+  | Some _ | None -> None
+
+let parents (v : Vertex.t) =
+  Array.to_list v.strong_edges @ Array.to_list v.weak_edges
+
+(* References below the GC floor count as satisfied: their subtree was
+   already ordered and pruned. *)
+let missing_parents t (v : Vertex.t) =
+  List.filter
+    (fun (r : Vertex.vref) -> r.round >= t.floor && find_ref t r = None)
+    (parents v)
+
+let add t (v : Vertex.t) =
+  if v.round < t.floor then invalid_arg "Store.add: below pruned horizon";
+  (match find t ~round:v.round ~source:v.source with
+  | Some existing ->
+      if not (Clanbft_crypto.Digest32.equal existing.digest v.digest) then
+        invalid_arg "Store.add: conflicting vertex for an occupied slot"
+  | None ->
+      if missing_parents t v <> [] then
+        invalid_arg "Store.add: parent missing";
+      (slots t v.round).(v.source) <- Some v;
+      (match Hashtbl.find_opt t.counts v.round with
+      | Some c -> incr c
+      | None -> Hashtbl.replace t.counts v.round (ref 1));
+      t.size <- t.size + 1;
+      if v.round > t.highest then t.highest <- v.round)
+
+let vertices_at t round =
+  match Hashtbl.find_opt t.rounds round with
+  | None -> []
+  | Some a ->
+      Array.to_list a |> List.filter_map (fun x -> x)
+
+let count_at t round =
+  match Hashtbl.find_opt t.counts round with Some c -> !c | None -> 0
+
+(* BFS down strong edges; rounds strictly decrease, so the frontier dies out
+   once it passes the target round. *)
+let strong_path t (from : Vertex.t) ~round ~source =
+  if from.round = round && from.source = source then true
+  else if round >= from.round then false
+  else begin
+    let visited = Hashtbl.create 32 in
+    let rec go frontier =
+      match frontier with
+      | [] -> false
+      | (v : Vertex.t) :: rest ->
+          let hits = ref false in
+          let next = ref rest in
+          Array.iter
+            (fun (e : Vertex.vref) ->
+              if e.round = round && e.source = source then hits := true
+              else if e.round > round && not (Hashtbl.mem visited (e.round, e.source))
+              then begin
+                Hashtbl.replace visited (e.round, e.source) ();
+                match find_ref t e with
+                | Some parent -> next := parent :: !next
+                | None -> ()
+              end)
+            v.strong_edges;
+          !hits || go !next
+    in
+    go [ from ]
+  end
+
+let causal_history t (v : Vertex.t) ~skip =
+  let visited = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec visit (v : Vertex.t) =
+    if not (Hashtbl.mem visited (v.round, v.source)) then begin
+      Hashtbl.replace visited (v.round, v.source) ();
+      if not (skip ~round:v.round ~source:v.source) then begin
+        acc := v :: !acc;
+        List.iter
+          (fun r ->
+            match find_ref t r with Some p -> visit p | None -> ())
+          (parents v)
+      end
+    end
+  in
+  visit v;
+  List.sort
+    (fun (a : Vertex.t) (b : Vertex.t) ->
+      Vertex.Id.compare (a.round, a.source) (b.round, b.source))
+    !acc
+
+let highest_round t = t.highest
+let floor t = t.floor
+
+let prune_below t ~round =
+  for r = t.floor to round - 1 do
+    (match Hashtbl.find_opt t.counts r with
+    | Some c -> t.size <- t.size - !c
+    | None -> ());
+    Hashtbl.remove t.rounds r;
+    Hashtbl.remove t.counts r
+  done;
+  if round > t.floor then t.floor <- round
+
+let size t = t.size

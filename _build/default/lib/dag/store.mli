@@ -1,0 +1,61 @@
+(** A node's local copy of the DAG.
+
+    Invariant: a vertex is inserted only after all its parents (strong and
+    weak edges) are present — the consensus layer buffers out-of-order
+    arrivals — so every reachability query here runs on a closed sub-DAG.
+    One slot (round, source) holds at most one vertex; the RBC layer
+    guarantees conflicting vertices never both deliver. *)
+
+open Clanbft_types
+
+type t
+
+val create : n:int -> t
+val n : t -> int
+
+val add : t -> Vertex.t -> unit
+(** Raises [Invalid_argument] if the slot is already occupied by a
+    different vertex or a parent is missing. Idempotent for the identical
+    vertex. *)
+
+val mem : t -> round:int -> source:int -> bool
+val find : t -> round:int -> source:int -> Vertex.t option
+
+val find_ref : t -> Vertex.vref -> Vertex.t option
+(** Lookup by reference; [None] also when the stored vertex's digest does
+    not match the reference (cannot happen for RBC-delivered data). *)
+
+val missing_parents : t -> Vertex.t -> Vertex.vref list
+(** Parents not yet in the store — the insertion guard. References below
+    the {!prune_below} horizon count as present (their subtree was ordered
+    and collected). *)
+
+val vertices_at : t -> int -> Vertex.t list
+(** All vertices of a round, ascending source order. *)
+
+val count_at : t -> int -> int
+
+val strong_path : t -> Vertex.t -> round:int -> source:int -> bool
+(** Is (round, source) reachable from the given vertex following strong
+    edges only? (Used for the indirect leader-commit rule.) *)
+
+val causal_history :
+  t -> Vertex.t -> skip:(round:int -> source:int -> bool) -> Vertex.t list
+(** Every vertex reachable from the argument (inclusive, via strong and
+    weak edges) for which [skip] is false, in deterministic total order:
+    ascending (round, source). This is the paper's "order the causal
+    history of the committed leader" step; determinism across replicas
+    follows from DAG closure + agreement. *)
+
+val highest_round : t -> int
+(** Largest round holding at least one vertex; -1 when empty. *)
+
+val floor : t -> int
+(** Current GC horizon (0 until {!prune_below} raises it). *)
+
+val prune_below : t -> round:int -> unit
+(** Drop all vertices with [vertex.round < round] — garbage collection
+    after ordering. Callers must no longer query below this horizon. *)
+
+val size : t -> int
+(** Number of vertices currently stored. *)

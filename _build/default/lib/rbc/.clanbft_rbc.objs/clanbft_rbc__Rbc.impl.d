@@ -1,0 +1,1 @@
+lib/rbc/rbc.ml: Array Clanbft_crypto Clanbft_sim Clanbft_util Digest32 Hashtbl Keychain List Option Printf String

@@ -1,0 +1,1 @@
+lib/rbc/rbc.mli: Clanbft_crypto Clanbft_sim Digest32 Keychain

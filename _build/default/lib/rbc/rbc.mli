@@ -1,0 +1,91 @@
+(** Reliable broadcast primitives, standalone over opaque string values.
+
+    Four protocols behind one interface:
+
+    - {!Bracha}: classic 3-round signature-free RBC — the baseline the
+      paper's Fig. 2 construction extends;
+    - {!Signed_two_round}: the good-case-optimal 2-round signed RBC of
+      Abraham et al. — the baseline the paper's Fig. 3 construction extends;
+    - {!Tribe_bracha}: tribe-assisted RBC, Fig. 2 — 3 rounds,
+      signature-free; only the clan receives the value, the rest of the
+      tribe delivers its digest;
+    - {!Tribe_signed}: tribe-assisted RBC, Fig. 3 — 2 rounds, signed, with
+      an ECHO-certificate finish.
+
+    Delivery semantics follow Definition 2: clan members (or everybody, for
+    the non-tribe protocols) output the value [m]; parties outside the clan
+    output [H(m)]. Missing values are pulled from clan members off the
+    critical path, with per-peer rate limiting (§3, "Remark on communication
+    complexity").
+
+    The consensus layer does {e not} use this module — it runs the merged
+    vertex+block instance of §5 (see [Clanbft_consensus]) — but the test
+    suite and the RBC ablation bench exercise these primitives directly,
+    and they are the reusable artefact for downstream users. *)
+
+open Clanbft_crypto
+
+type protocol = Bracha | Signed_two_round | Tribe_bracha | Tribe_signed
+
+val protocol_name : protocol -> string
+
+(** Wire messages; exposed so tests can inject Byzantine traffic straight
+    into the network. *)
+type msg =
+  | Val of { sender : int; round : int; value : string }
+  | Val_digest of { sender : int; round : int; digest : Digest32.t }
+  | Echo of {
+      sender : int;
+      round : int;
+      digest : Digest32.t;
+      signer : int;
+      signature : Keychain.signature option;
+    }
+  | Ready of {
+      sender : int;
+      round : int;
+      digest : Digest32.t;
+      signer : int;
+      signature : Keychain.signature option;
+    }
+  | Echo_cert of {
+      sender : int;
+      round : int;
+      digest : Digest32.t;
+      agg : Keychain.aggregate;
+    }
+  | Pull_request of { sender : int; round : int }
+  | Pull_reply of { sender : int; round : int; value : string }
+
+val msg_size : n:int -> msg -> int
+(** Wire bytes; plug into {!Clanbft_sim.Net.create}. *)
+
+val echo_signing_string : sender:int -> round:int -> Digest32.t -> string
+
+type outcome = Value of string | Digest_only of Digest32.t
+
+type node
+
+val create :
+  me:int ->
+  n:int ->
+  ?f:int ->
+  ?clan:int array ->
+  protocol:protocol ->
+  engine:Clanbft_sim.Engine.t ->
+  net:msg Clanbft_sim.Net.t ->
+  keychain:Keychain.t ->
+  ?pull_retry:Clanbft_sim.Time.span ->
+  ?pull_budget:int ->
+  on_deliver:(sender:int -> round:int -> outcome -> unit) ->
+  unit ->
+  node
+(** Builds an honest node and installs its network handler. [clan] is
+    required (and only meaningful) for the tribe protocols. [pull_budget]
+    caps how many pull requests per (instance, peer) this node will serve
+    (rate limiting). [on_deliver] fires exactly once per (sender, round). *)
+
+val broadcast : node -> round:int -> string -> unit
+(** r_bcast: disseminate a value as the designated sender. *)
+
+val delivered : node -> sender:int -> round:int -> outcome option

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Clanbft_util Engine List Time Topology

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Clanbft_util Engine Time Topology

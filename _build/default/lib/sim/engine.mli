@@ -1,0 +1,28 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a priority queue keyed by simulated
+    time. Ties are processed in scheduling order, so a run is a pure function
+    of the initial schedule — which makes Byzantine/partial-synchrony test
+    scenarios exactly reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] if the time is in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> unit
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Process events in time order until the queue empties, the clock passes
+    [until], or [max_events] have run. When stopping on [until], the clock is
+    left at [until] and any later events stay queued. *)
+
+val step : t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+val events_processed : t -> int

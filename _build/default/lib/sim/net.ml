@@ -1,0 +1,126 @@
+module Rng = Clanbft_util.Rng
+
+type config = {
+  uplink_gbps : float;
+  per_message_overhead : int;
+  jitter : float;
+  gst : Time.t;
+  pre_gst_max_extra : Time.span;
+  local_delivery : Time.span;
+}
+
+let default_config =
+  {
+    (* e2-standard-32 advertises "up to 16 Gbps"; sustained wide-area TCP
+       goodput on such instances is far lower. We model an effective
+       per-node uplink of 2 Gbps, which reproduces the saturation knees of
+       Fig. 5 (see EXPERIMENTS.md for the calibration note). *)
+    uplink_gbps = 2.0;
+    per_message_overhead = 60;
+    jitter = 0.01;
+    gst = 0;
+    pre_gst_max_extra = 0;
+    local_delivery = 20;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  config : config;
+  size : 'msg -> int;
+  rng : Rng.t;
+  handlers : (src:int -> 'msg -> unit) array;
+  uplink_free : Time.t array; (* when each node's uplink next idles *)
+  mutable filter : src:int -> dst:int -> 'msg -> bool;
+  bytes_sent : int array;
+  bytes_received : int array;
+  messages_sent : int array;
+  mutable total_bytes : int;
+  mutable total_messages : int;
+}
+
+let no_handler ~src:_ _ =
+  failwith "Net: message delivered to a node with no handler installed"
+
+let create ~engine ~topology ~config ~size ~rng () =
+  let n = Topology.n topology in
+  {
+    engine;
+    topology;
+    config;
+    size;
+    rng;
+    handlers = Array.make n no_handler;
+    uplink_free = Array.make n 0;
+    filter = (fun ~src:_ ~dst:_ _ -> true);
+    bytes_sent = Array.make n 0;
+    bytes_received = Array.make n 0;
+    messages_sent = Array.make n 0;
+    total_bytes = 0;
+    total_messages = 0;
+  }
+
+let n t = Topology.n t.topology
+let set_handler t i fn = t.handlers.(i) <- fn
+let set_filter t f = t.filter <- f
+
+(* Serialization delay in µs for [bytes] at [gbps]:
+   bytes * 8 bits / (gbps * 1e9 bit/s) seconds = bytes * 8 / (gbps * 1e3) µs *)
+let serialization_us config bytes =
+  int_of_float (ceil (float_of_int bytes *. 8.0 /. (config.uplink_gbps *. 1_000.0)))
+
+let deliver t ~src ~dst msg arrival =
+  Engine.schedule_at t.engine arrival (fun () ->
+      t.bytes_received.(dst) <- t.bytes_received.(dst) + t.size msg + t.config.per_message_overhead;
+      t.handlers.(dst) ~src msg)
+
+let send t ~src ~dst msg =
+  if not (t.filter ~src ~dst msg) then ()
+  else begin
+    let now = Engine.now t.engine in
+    let bytes = t.size msg + t.config.per_message_overhead in
+    t.bytes_sent.(src) <- t.bytes_sent.(src) + bytes;
+    t.messages_sent.(src) <- t.messages_sent.(src) + 1;
+    t.total_bytes <- t.total_bytes + bytes;
+    t.total_messages <- t.total_messages + 1;
+    if src = dst then deliver t ~src ~dst msg (now + t.config.local_delivery)
+    else begin
+      let ser = serialization_us t.config bytes in
+      let depart = max now t.uplink_free.(src) + ser in
+      t.uplink_free.(src) <- depart;
+      let base_latency = Topology.one_way t.topology ~src ~dst in
+      let jitter =
+        if t.config.jitter = 0.0 then 0
+        else
+          let u = (2.0 *. Rng.float t.rng 1.0) -. 1.0 in
+          int_of_float (float_of_int base_latency *. t.config.jitter *. u)
+      in
+      let adversarial =
+        if now < t.config.gst && t.config.pre_gst_max_extra > 0 then
+          Rng.int t.rng (t.config.pre_gst_max_extra + 1)
+        else 0
+      in
+      let arrival = depart + max 0 (base_latency + jitter) + adversarial in
+      deliver t ~src ~dst msg arrival
+    end
+  end
+
+let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let broadcast t ~src msg =
+  for dst = 0 to n t - 1 do
+    send t ~src ~dst msg
+  done
+
+let bytes_sent t i = t.bytes_sent.(i)
+let bytes_received t i = t.bytes_received.(i)
+let messages_sent t i = t.messages_sent.(i)
+let total_bytes t = t.total_bytes
+let total_messages t = t.total_messages
+
+let reset_metrics t =
+  Array.fill t.bytes_sent 0 (Array.length t.bytes_sent) 0;
+  Array.fill t.bytes_received 0 (Array.length t.bytes_received) 0;
+  Array.fill t.messages_sent 0 (Array.length t.messages_sent) 0;
+  t.total_bytes <- 0;
+  t.total_messages <- 0

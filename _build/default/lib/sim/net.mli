@@ -1,0 +1,68 @@
+(** Point-to-point message transport over a {!Topology}, with bandwidth.
+
+    The model that drives every throughput/latency figure in the paper:
+
+    - each node has a finite {e uplink}; sending a message occupies the
+      uplink for [bytes / rate] (serialization delay), FIFO — this is what
+      makes full-payload dissemination to all [n] parties saturate and what
+      the clan technique relieves;
+    - after leaving the uplink, a message takes the topology's one-way
+      propagation delay (± jitter) to arrive;
+    - links are reliable and FIFO per (src, dst) pair — the TCP assumption
+      of §3;
+    - partial synchrony: before [gst] every message suffers an additional
+      adversarial delay drawn uniformly from [0, pre_gst_max_extra].
+
+    Per-node byte and message counters feed the evaluation harness. *)
+
+type config = {
+  uplink_gbps : float;  (** per-node uplink bandwidth, gigabits/s *)
+  per_message_overhead : int;  (** framing + transport header bytes *)
+  jitter : float;  (** latency noise, fraction of one-way delay *)
+  gst : Time.t;  (** global stabilization time *)
+  pre_gst_max_extra : Time.span;  (** max adversarial delay before GST *)
+  local_delivery : Time.span;  (** self-send loopback delay *)
+}
+
+val default_config : config
+(** 16 Gbps VM uplink derated to an effective wide-area rate (see
+    DESIGN.md), 60-byte overhead, 1% jitter, GST = 0 (benign runs). *)
+
+type 'msg t
+
+val create :
+  engine:Engine.t ->
+  topology:Topology.t ->
+  config:config ->
+  size:('msg -> int) ->
+  rng:Clanbft_util.Rng.t ->
+  unit ->
+  'msg t
+
+val n : _ t -> int
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Must be installed for every node before traffic reaches it. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val multicast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+(** Unicast fan-out: each copy pays its own serialization delay, like TCP
+    fan-out on a real VM. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** [multicast] to all nodes including the sender (self copy is local). *)
+
+val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> bool) -> unit
+(** Fault-injection hook: messages for which the filter returns [false] are
+    silently dropped. Use only for crash/partition tests — reliable-link
+    protocols assume eventual delivery. *)
+
+(** {1 Metrics} *)
+
+val bytes_sent : _ t -> int -> int
+val bytes_received : _ t -> int -> int
+val messages_sent : _ t -> int -> int
+val total_bytes : _ t -> int
+val total_messages : _ t -> int
+val reset_metrics : _ t -> unit

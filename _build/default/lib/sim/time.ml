@@ -1,0 +1,15 @@
+type t = int
+type span = int
+
+let zero = 0
+let us n = n
+let ms f = int_of_float (f *. 1_000.0)
+let s f = int_of_float (f *. 1_000_000.0)
+let to_ms t = float_of_int t /. 1_000.0
+let to_s t = float_of_int t /. 1_000_000.0
+let add t d = t + d
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dus" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.2fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_s t)

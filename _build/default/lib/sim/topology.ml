@@ -1,0 +1,60 @@
+type t = {
+  n : int;
+  region_of : int array; (* node -> region index *)
+  one_way_us : int array array; (* region x region, microseconds *)
+  regions : string array;
+}
+
+let n t = t.n
+
+let one_way t ~src ~dst =
+  t.one_way_us.(t.region_of.(src)).(t.region_of.(dst))
+
+let region_name t i = t.regions.(t.region_of.(i))
+
+let gcp_regions =
+  [|
+    "us-east1"; "us-west1"; "europe-north1"; "asia-northeast1";
+    "australia-southeast1";
+  |]
+
+(* Table 1 of the paper: ping RTT in ms between GCP regions. The paper's
+   matrix is almost symmetric; we keep the source-row values as printed. *)
+let gcp_rtt_ms =
+  [|
+    [| 0.75; 66.14; 114.75; 160.28; 197.98 |];
+    [| 66.15; 0.66; 158.13; 89.56; 138.33 |];
+    [| 115.40; 158.38; 0.69; 245.15; 295.13 |];
+    [| 159.89; 90.05; 246.01; 0.66; 105.58 |];
+    [| 197.60; 139.02; 294.36; 108.26; 0.58 |];
+  |]
+
+let matrix_us ~regions ~rtt_ms =
+  let r = Array.length regions in
+  Array.init r (fun i ->
+      Array.init r (fun j -> int_of_float (rtt_ms.(i).(j) /. 2.0 *. 1_000.0)))
+
+let custom ~n ~region_of ~regions ~rtt_ms =
+  if n <= 0 then invalid_arg "Topology: n must be positive";
+  let r = Array.length regions in
+  if Array.length rtt_ms <> r || Array.exists (fun row -> Array.length row <> r) rtt_ms
+  then invalid_arg "Topology.custom: matrix/region mismatch";
+  let region_of =
+    Array.init n (fun i ->
+        let reg = region_of i in
+        if reg < 0 || reg >= r then invalid_arg "Topology.custom: bad region";
+        reg)
+  in
+  { n; region_of; one_way_us = matrix_us ~regions ~rtt_ms; regions }
+
+let gcp_table1 ~n =
+  custom ~n
+    ~region_of:(fun i -> i mod Array.length gcp_regions)
+    ~regions:gcp_regions ~rtt_ms:gcp_rtt_ms
+
+let uniform ~n ~one_way_ms =
+  let rtt = 2.0 *. one_way_ms in
+  custom ~n
+    ~region_of:(fun _ -> 0)
+    ~regions:[| "uniform" |]
+    ~rtt_ms:[| [| rtt |] |]

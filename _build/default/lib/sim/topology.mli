@@ -1,0 +1,34 @@
+(** Network topologies: who sits where and how far apart.
+
+    The paper's evaluation (§7) spreads nodes evenly across five GCP regions
+    and reports the inter-region round-trip latencies in Table 1.
+    {!gcp_table1} reproduces exactly that placement and latency matrix;
+    one-way delays are taken as RTT/2. *)
+
+type t
+
+val n : t -> int
+
+val one_way : t -> src:int -> dst:int -> Time.span
+(** Propagation delay from node [src] to node [dst], excluding serialization
+    and queuing. *)
+
+val region_name : t -> int -> string
+
+val gcp_regions : string array
+(** The five regions of Table 1, in paper order. *)
+
+val gcp_rtt_ms : float array array
+(** Table 1 itself: RTT in milliseconds, indexed by region. *)
+
+val gcp_table1 : n:int -> t
+(** [n] nodes assigned round-robin to the five GCP regions (the paper's
+    "distributed evenly across five distinct GCP regions"). *)
+
+val uniform : n:int -> one_way_ms:float -> t
+(** Every pair at the same one-way delay. (Self-sends bypass the network in
+    {!Net}, so the diagonal is irrelevant in practice.) *)
+
+val custom : n:int -> region_of:(int -> int) -> regions:string array ->
+  rtt_ms:float array array -> t
+(** Arbitrary region placement over an arbitrary RTT matrix. *)

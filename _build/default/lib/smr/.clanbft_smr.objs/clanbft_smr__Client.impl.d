@@ -1,0 +1,1 @@
+lib/smr/client.ml: Clanbft_crypto Clanbft_sim Clanbft_types Clanbft_util Config Digest32 Hashtbl Transaction

@@ -1,0 +1,1 @@
+lib/smr/client.mli: Clanbft_crypto Clanbft_sim Clanbft_types Config Digest32 Transaction

@@ -1,0 +1,1 @@
+lib/smr/execution.ml: Array Block Clanbft_crypto Clanbft_types Digest32 Printf Transaction

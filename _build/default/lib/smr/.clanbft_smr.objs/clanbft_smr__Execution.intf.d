@@ -1,0 +1,1 @@
+lib/smr/execution.mli: Block Clanbft_crypto Clanbft_types Digest32 Transaction

@@ -1,0 +1,1 @@
+lib/smr/mempool.ml: Array Clanbft_types Queue Transaction

@@ -1,0 +1,1 @@
+lib/smr/mempool.mli: Clanbft_types Transaction

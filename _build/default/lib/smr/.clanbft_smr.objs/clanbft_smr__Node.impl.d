@@ -1,0 +1,1 @@
+lib/smr/node.ml: Array Block Clanbft_consensus Clanbft_crypto Clanbft_types Config Digest32 Execution List Mempool Option Persist Printf Queue Transaction Vertex

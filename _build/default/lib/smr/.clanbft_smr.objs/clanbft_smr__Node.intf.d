@@ -1,0 +1,1 @@
+lib/smr/node.mli: Clanbft_consensus Clanbft_crypto Clanbft_sim Clanbft_types Config Digest32 Execution Keychain Mempool Msg Persist Transaction Vertex

@@ -1,0 +1,1 @@
+lib/smr/persist.ml: Clanbft_sim Engine Hashtbl Option Time

@@ -1,0 +1,1 @@
+lib/smr/persist.mli: Clanbft_sim Engine Time

@@ -1,0 +1,1 @@
+lib/smr/runner.mli: Clanbft_consensus Clanbft_sim Format Net Time

@@ -1,0 +1,92 @@
+open Clanbft_types
+open Clanbft_crypto
+module Engine = Clanbft_sim.Engine
+module Stats = Clanbft_util.Stats
+
+type tracked = {
+  txn : Transaction.t;
+  clan : int;
+  required : int;
+  (* per candidate digest: which executors vouched for it *)
+  votes : Clanbft_util.Bitset.t Digest32.Tbl.t;
+  mutable completed_at : Clanbft_sim.Time.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  id : int;
+  on_complete : (Transaction.t -> latency:Clanbft_sim.Time.span -> unit) option;
+  inflight : (int, tracked) Hashtbl.t;
+  mutable next_seq : int;
+  mutable completed : int;
+  latencies : Stats.t;
+}
+
+let create ~engine ~config ~id ?on_complete () =
+  {
+    engine;
+    config;
+    id;
+    on_complete;
+    inflight = Hashtbl.create 64;
+    next_seq = 0;
+    completed = 0;
+    latencies = Stats.create ();
+  }
+
+let make_txn t ?size () =
+  let id = (t.id lsl 40) lor t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  Transaction.make ~id ~client:t.id ~created_at:(Engine.now t.engine) ?size ()
+
+let track t txn ~clan =
+  if clan < 0 || clan >= Config.clan_count t.config then
+    invalid_arg "Client.track: no such clan";
+  let required = Config.clan_fault_bound t.config clan + 1 in
+  Hashtbl.replace t.inflight txn.Transaction.id
+    {
+      txn;
+      clan;
+      required;
+      votes = Digest32.Tbl.create 2;
+      completed_at = None;
+    }
+
+let deliver_response t ~executor txn digest =
+  match Hashtbl.find_opt t.inflight txn.Transaction.id with
+  | None -> ()
+  | Some tracked when tracked.completed_at <> None -> ()
+  | Some tracked ->
+      if Config.clan_of t.config executor = Some tracked.clan then begin
+        let votes =
+          match Digest32.Tbl.find_opt tracked.votes digest with
+          | Some b -> b
+          | None ->
+              let b = Clanbft_util.Bitset.create (Config.n t.config) in
+              Digest32.Tbl.replace tracked.votes digest b;
+              b
+        in
+        if
+          Clanbft_util.Bitset.add votes executor
+          && Clanbft_util.Bitset.cardinal votes >= tracked.required
+        then begin
+          let now = Engine.now t.engine in
+          tracked.completed_at <- Some now;
+          t.completed <- t.completed + 1;
+          let latency = now - tracked.txn.created_at in
+          Stats.add t.latencies (Clanbft_sim.Time.to_ms latency);
+          match t.on_complete with
+          | Some f -> f tracked.txn ~latency
+          | None -> ()
+        end
+      end
+
+let completed t = t.completed
+
+let pending t =
+  Hashtbl.fold
+    (fun _ tr acc -> if tr.completed_at = None then acc + 1 else acc)
+    t.inflight 0
+
+let mean_latency_ms t = if Stats.is_empty t.latencies then 0.0 else Stats.mean t.latencies

@@ -1,0 +1,38 @@
+(** Client-side transaction tracking.
+
+    Implements the paper's client acceptance rule (§1): a transaction is
+    complete once [fc + 1] distinct members of the executing clan return
+    {e matching} execution receipts — with at most [fc] Byzantine clan
+    members, at least one honest executor stands behind any accepted
+    result. *)
+
+open Clanbft_types
+open Clanbft_crypto
+
+type t
+
+val create :
+  engine:Clanbft_sim.Engine.t ->
+  config:Config.t ->
+  id:int ->
+  ?on_complete:(Transaction.t -> latency:Clanbft_sim.Time.span -> unit) ->
+  unit ->
+  t
+
+val make_txn : t -> ?size:int -> unit -> Transaction.t
+(** Fresh transaction stamped with the current simulated time; ids are
+    unique per client ([id] in the high bits). *)
+
+val track : t -> Transaction.t -> clan:int -> unit
+(** Register the transaction as submitted towards [clan]; responses are
+    matched against that clan's [fc + 1] threshold. *)
+
+val deliver_response : t -> executor:int -> Transaction.t -> Digest32.t -> unit
+(** Feed one replica's receipt. Mismatching digests are kept apart: only a
+    digest vouched for by [fc + 1] distinct clan members completes the
+    transaction. *)
+
+val completed : t -> int
+val pending : t -> int
+val mean_latency_ms : t -> float
+(** Mean submit→accept latency over completed transactions. *)

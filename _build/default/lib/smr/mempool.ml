@@ -1,0 +1,30 @@
+open Clanbft_types
+
+type t = {
+  queue : Transaction.t Queue.t;
+  capacity : int;
+  mutable submitted : int;
+  mutable rejected : int;
+}
+
+let create ?(capacity = 1_000_000) () =
+  { queue = Queue.create (); capacity; submitted = 0; rejected = 0 }
+
+let submit t txn =
+  if Queue.length t.queue >= t.capacity then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    Queue.add txn t.queue;
+    t.submitted <- t.submitted + 1;
+    true
+  end
+
+let take t ~max =
+  let count = min max (Queue.length t.queue) in
+  Array.init count (fun _ -> Queue.pop t.queue)
+
+let pending t = Queue.length t.queue
+let submitted_total t = t.submitted
+let rejected_total t = t.rejected

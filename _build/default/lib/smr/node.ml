@@ -1,0 +1,119 @@
+open Clanbft_types
+open Clanbft_crypto
+module Sailfish = Clanbft_consensus.Sailfish
+
+type t = {
+  me : int;
+  config : Config.t;
+  mutable consensus : Sailfish.t option; (* set during construction *)
+  mempool : Mempool.t;
+  execution : Execution.t;
+  persist : Persist.t option;
+  exec_queue : Vertex.t Queue.t;
+  executes : bool;
+  on_txn_executed : (Transaction.t -> Digest32.t -> unit) option;
+}
+
+let me t = t.me
+let consensus t = Option.get t.consensus
+let execution t = t.execution
+let mempool t = t.mempool
+let submit t txn = Mempool.submit t.mempool txn
+let executed_txns t = Execution.executed_txns t.execution
+let exec_backlog t = Queue.length t.exec_queue
+
+(* Drain the execution queue in order; stop at the first vertex whose block
+   is still in flight (it is being pulled — §5's "execution lags
+   consensus"). *)
+let rec drain t =
+  match Queue.peek_opt t.exec_queue with
+  | None -> ()
+  | Some (v : Vertex.t) ->
+      let has_block = Digest32.equal v.block_digest Digest32.zero = false in
+      if not has_block then begin
+        (* Vertex-only proposal: nothing to execute. *)
+        ignore (Queue.pop t.exec_queue);
+        drain t
+      end
+      else if Config.in_payload_clan t.config ~proposer:v.source t.me then begin
+        match Sailfish.block_of (consensus t) ~round:v.round ~source:v.source with
+        | Some block ->
+            ignore (Queue.pop t.exec_queue);
+            Execution.apply_block t.execution block;
+            (match t.on_txn_executed with
+            | None -> ()
+            | Some callback ->
+                Array.iter
+                  (fun txn -> callback txn (Execution.response t.execution txn))
+                  block.txns);
+            drain t
+        | None -> () (* block still being fetched; resume on arrival *)
+      end
+      else begin
+        (* Another clan's payload: fold the digest, keep the chain common. *)
+        ignore (Queue.pop t.exec_queue);
+        Execution.skip_block t.execution v.block_digest;
+        drain t
+      end
+
+let on_commit_internal t external_hook ~leader vertices =
+  (match external_hook with
+  | Some hook -> hook ~leader vertices
+  | None -> ());
+  if t.executes then begin
+    List.iter (fun v -> Queue.add v t.exec_queue) vertices;
+    drain t
+  end;
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (v : Vertex.t) ->
+          Persist.put p
+            ~key:(Printf.sprintf "vertex/%d/%d" v.round v.source)
+            ~size:(Vertex.wire_size ~n:(Config.n t.config) v)
+            ~on_durable:(fun () -> ())
+            ())
+        vertices
+
+let on_block_internal t (b : Block.t) =
+  (match t.persist with
+  | None -> ()
+  | Some p ->
+      Persist.put p
+        ~key:(Printf.sprintf "block/%d/%d" b.round b.proposer)
+        ~size:(Block.wire_size b)
+        ~on_durable:(fun () -> ())
+        ());
+  if t.executes then drain t
+
+let create ~me ~config ~keychain ~engine ~net ?params ?(max_block_txns = 6000)
+    ?persist ?generate ?on_commit ?on_txn_executed () =
+  let t =
+    {
+      me;
+      config;
+      consensus = None;
+      mempool = Mempool.create ();
+      execution = Execution.create ();
+      persist;
+      exec_queue = Queue.create ();
+      executes = Config.executes_blocks config me;
+      on_txn_executed;
+    }
+  in
+  let make_block ~round =
+    match generate with
+    | Some gen -> gen ~round
+    | None -> Mempool.take t.mempool ~max:max_block_txns
+  in
+  let consensus =
+    Sailfish.create ~me ~config ~keychain ~engine ~net ?params ~make_block
+      ~on_commit:(on_commit_internal t on_commit)
+      ~on_block:(on_block_internal t)
+      ()
+  in
+  t.consensus <- Some consensus;
+  t
+
+let start t = Sailfish.start (consensus t)

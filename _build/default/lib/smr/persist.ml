@@ -1,0 +1,47 @@
+open Clanbft_sim
+
+type t = {
+  engine : Engine.t;
+  write_latency : Time.span;
+  bytes_per_us : float;
+  mutable disk_free_at : Time.t; (* FIFO write queue head *)
+  durable : (string, string option) Hashtbl.t;
+  mutable writes : int;
+  mutable bytes : int;
+  mutable backlog : int;
+}
+
+let create ~engine ?(write_latency = Time.us 100)
+    ?(write_bandwidth_mbps = 400.) () =
+  if write_bandwidth_mbps <= 0.0 then invalid_arg "Persist.create: bandwidth";
+  {
+    engine;
+    write_latency;
+    (* MB/s = bytes/µs numerically. *)
+    bytes_per_us = write_bandwidth_mbps;
+    disk_free_at = 0;
+    durable = Hashtbl.create 1024;
+    writes = 0;
+    bytes = 0;
+    backlog = 0;
+  }
+
+let put t ~key ~size ?data ~on_durable () =
+  if size < 0 then invalid_arg "Persist.put: negative size";
+  let now = Engine.now t.engine in
+  let transfer = int_of_float (ceil (float_of_int size /. t.bytes_per_us)) in
+  let done_at = max now t.disk_free_at + t.write_latency + transfer in
+  t.disk_free_at <- done_at;
+  t.writes <- t.writes + 1;
+  t.bytes <- t.bytes + size;
+  t.backlog <- t.backlog + 1;
+  Engine.schedule_at t.engine done_at (fun () ->
+      Hashtbl.replace t.durable key data;
+      t.backlog <- t.backlog - 1;
+      on_durable ())
+
+let get t ~key = Option.join (Hashtbl.find_opt t.durable key)
+let is_durable t ~key = Hashtbl.mem t.durable key
+let writes t = t.writes
+let bytes_written t = t.bytes
+let backlog t = t.backlog

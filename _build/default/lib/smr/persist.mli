@@ -1,0 +1,42 @@
+(** Simulated persistent consensus store (the paper uses RocksDB).
+
+    The evaluation attributes part of the large-scale latency to database
+    work, so persistence is modelled rather than ignored: every put charges
+    a configurable synchronous latency budget to a per-node storage queue;
+    readers observe data only after its write completes. Payload bytes are
+    accounted but, to keep multi-gigabyte experiments cheap, actual content
+    storage is optional ([data = None] stores metadata only — used by the
+    benches; tests store real bytes and read them back). *)
+
+open Clanbft_sim
+
+type t
+
+val create :
+  engine:Engine.t ->
+  ?write_latency:Time.span ->
+  ?write_bandwidth_mbps:float ->
+  unit ->
+  t
+(** Defaults: 100 µs fixed latency per write plus 400 MB/s sequential
+    bandwidth — conservative figures for a cloud NVMe volume running a
+    RocksDB WAL. *)
+
+val put :
+  t ->
+  key:string ->
+  size:int ->
+  ?data:string ->
+  on_durable:(unit -> unit) ->
+  unit ->
+  unit
+(** Queue a write; [on_durable] fires when it hits "disk". *)
+
+val get : t -> key:string -> string option
+(** Contents of a durable write made with [?data]; [None] otherwise. *)
+
+val is_durable : t -> key:string -> bool
+val writes : t -> int
+val bytes_written : t -> int
+val backlog : t -> int
+(** Writes queued but not yet durable. *)

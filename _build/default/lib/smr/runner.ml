@@ -1,0 +1,248 @@
+open Clanbft_types
+open Clanbft_crypto
+open Clanbft_sim
+module Analysis = Clanbft_committee.Analysis
+module Sailfish = Clanbft_consensus.Sailfish
+module Stats = Clanbft_util.Stats
+module Rng = Clanbft_util.Rng
+
+type protocol =
+  | Full
+  | Single_clan of { nc : int }
+  | Multi_clan of { q : int }
+
+let protocol_label = function
+  | Full -> "sailfish"
+  | Single_clan { nc } -> Printf.sprintf "single-clan(nc=%d)" nc
+  | Multi_clan { q } -> Printf.sprintf "multi-clan(q=%d)" q
+
+type spec = {
+  n : int;
+  protocol : protocol;
+  txns_per_proposal : int;
+  txn_size : int;
+  txn_scale : int;
+  topology : [ `Gcp | `Uniform of float ];
+  duration : Time.span;
+  warmup : Time.span;
+  seed : int64;
+  net : Net.config;
+  params : Sailfish.params;
+  crashed : int list;
+  persist : bool;
+  clan_random : bool;
+}
+
+let default_spec =
+  {
+    n = 16;
+    protocol = Full;
+    txns_per_proposal = 500;
+    txn_size = Transaction.default_size;
+    txn_scale = 1;
+    topology = `Gcp;
+    duration = Time.s 12.;
+    warmup = Time.s 3.;
+    seed = 0xC1A9L;
+    net = Net.default_config;
+    params = Sailfish.default_params;
+    crashed = [];
+    persist = false;
+    clan_random = false;
+  }
+
+type result = {
+  label : string;
+  committed_txns : int;
+  throughput_ktps : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p99_ms : float;
+  rounds : int;
+  leaders_committed : int;
+  bytes_total : int;
+  mb_per_node_per_s : float;
+  events : int;
+  agreement : bool;
+}
+
+(* Growable int array for per-node commit-prefix hashes. *)
+module Intvec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 256 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let bigger = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 bigger 0 v.len;
+      v.data <- bigger
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let length v = v.len
+end
+
+let mix h x =
+  let h = h lxor (x * 0x9E3779B97F4A7C1) in
+  let h = h lxor (h lsr 29) in
+  h * 0xBF58476D1CE4E5B |> fun h -> h lxor (h lsr 32)
+
+let dissemination_of spec rng =
+  match spec.protocol with
+  | Full -> Config.Full
+  | Single_clan { nc } ->
+      let clan =
+        if spec.clan_random then Analysis.elect_random rng ~n:spec.n ~nc
+        else Analysis.elect_balanced ~n:spec.n ~nc
+      in
+      Config.Single_clan clan
+  | Multi_clan { q } ->
+      let clans =
+        if spec.clan_random then Analysis.partition_random rng ~n:spec.n ~q
+        else Analysis.partition_balanced ~n:spec.n ~q
+      in
+      Config.Multi_clan clans
+
+(* Per proposed block: what the workload generator produced for it. *)
+type block_meta = {
+  created_at : Time.t;
+  effective_txns : int;
+  mutable commits : int; (* honest replicas that committed it *)
+  mutable done_ : bool;
+}
+
+let run spec =
+  if spec.txn_scale < 1 then invalid_arg "Runner: txn_scale must be >= 1";
+  if spec.txns_per_proposal < 0 then invalid_arg "Runner: negative load";
+  let engine = Engine.create () in
+  let rng = Rng.create spec.seed in
+  let topology =
+    match spec.topology with
+    | `Gcp -> Topology.gcp_table1 ~n:spec.n
+    | `Uniform one_way_ms -> Topology.uniform ~n:spec.n ~one_way_ms
+  in
+  let net =
+    Net.create ~engine ~topology ~config:spec.net
+      ~size:(Msg.wire_size ~n:spec.n)
+      ~rng:(Rng.split rng) ()
+  in
+  let keychain = Keychain.create ~seed:(Rng.next_int64 rng) ~n:spec.n in
+  let config = Config.make ~n:spec.n (dissemination_of spec rng) in
+  let crashed = Array.make spec.n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= spec.n then invalid_arg "Runner: bad crashed id";
+      crashed.(i) <- true)
+    spec.crashed;
+  let honest_count = spec.n - List.length spec.crashed in
+  (* ---- workload + measurement state ---- *)
+  let metas : (int * int, block_meta) Hashtbl.t = Hashtbl.create 4096 in
+  let next_txn = ref 0 in
+  let samples = Stats.create () in
+  let committed_txns = ref 0 in
+  let warmup_end = spec.warmup in
+  let sim_count = max 1 (spec.txns_per_proposal / spec.txn_scale) in
+  let effective = if spec.txns_per_proposal = 0 then 0 else sim_count * spec.txn_scale in
+  let generate proposer ~round =
+    if spec.txns_per_proposal = 0 then [||]
+    else begin
+      let now = Engine.now engine in
+      Hashtbl.replace metas (proposer, round)
+        { created_at = now; effective_txns = effective; commits = 0; done_ = false };
+      Array.init sim_count (fun _ ->
+          incr next_txn;
+          Transaction.make ~id:!next_txn ~client:proposer ~created_at:now
+            ~size:(spec.txn_size * spec.txn_scale) ())
+    end
+  in
+  let prefix_hash = Array.init spec.n (fun _ -> Intvec.create ()) in
+  let leaders_committed = ref 0 in
+  let on_commit me ~leader:(l : Vertex.t) vertices =
+    if l.round >= 0 && me = 0 then incr leaders_committed;
+    let now = Engine.now engine in
+    List.iter
+      (fun (v : Vertex.t) ->
+        let vec = prefix_hash.(me) in
+        let prev = if Intvec.length vec = 0 then 0 else Intvec.get vec (Intvec.length vec - 1) in
+        Intvec.push vec (mix prev ((v.round * 1_000_003) + v.source));
+        match Hashtbl.find_opt metas (v.source, v.round) with
+        | None -> ()
+        | Some meta when meta.done_ -> ()
+        | Some meta ->
+            meta.commits <- meta.commits + 1;
+            if meta.commits >= honest_count then begin
+              meta.done_ <- true;
+              if meta.created_at >= warmup_end then begin
+                Stats.add samples (Time.to_ms (now - meta.created_at));
+                committed_txns := !committed_txns + meta.effective_txns
+              end;
+              Hashtbl.remove metas (v.source, v.round)
+            end)
+      vertices
+  in
+  let persist =
+    if spec.persist then
+      Array.init spec.n (fun _ -> Persist.create ~engine ())
+    else [||]
+  in
+  let nodes =
+    Array.init spec.n (fun me ->
+        Node.create ~me ~config ~keychain ~engine ~net ~params:spec.params
+          ?persist:(if spec.persist then Some persist.(me) else None)
+          ~generate:(generate me)
+          ~on_commit:(fun ~leader vs -> on_commit me ~leader vs)
+          ())
+  in
+  Array.iteri (fun i node -> if not crashed.(i) then Node.start node) nodes;
+  Engine.run ~until:spec.duration engine;
+  (* ---- agreement: common prefix of commit sequences ---- *)
+  let honest_vecs =
+    List.filteri (fun i _ -> not crashed.(i)) (Array.to_list prefix_hash)
+  in
+  let min_len =
+    List.fold_left (fun acc v -> min acc (Intvec.length v)) max_int honest_vecs
+  in
+  let agreement =
+    match honest_vecs with
+    | [] | [ _ ] -> true
+    | first :: rest ->
+        min_len = 0
+        || List.for_all
+             (fun v -> Intvec.get v (min_len - 1) = Intvec.get first (min_len - 1))
+             rest
+  in
+  let window_s = Time.to_s (spec.duration - spec.warmup) in
+  let max_round =
+    Array.fold_left
+      (fun acc node -> max acc (Sailfish.current_round (Node.consensus node)))
+      0 nodes
+  in
+  {
+    label =
+      Printf.sprintf "%s n=%d load=%d" (protocol_label spec.protocol) spec.n
+        spec.txns_per_proposal;
+    committed_txns = !committed_txns;
+    throughput_ktps = float_of_int !committed_txns /. window_s /. 1_000.;
+    latency_mean_ms = (if Stats.is_empty samples then 0.0 else Stats.mean samples);
+    latency_p50_ms =
+      (if Stats.is_empty samples then 0.0 else Stats.percentile samples 50.);
+    latency_p99_ms =
+      (if Stats.is_empty samples then 0.0 else Stats.percentile samples 99.);
+    rounds = max_round;
+    leaders_committed = !leaders_committed;
+    bytes_total = Net.total_bytes net;
+    mb_per_node_per_s =
+      float_of_int (Net.total_bytes net)
+      /. float_of_int spec.n /. Time.to_s spec.duration /. 1e6;
+    events = Engine.events_processed engine;
+    agreement;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-28s tput=%8.1f kTPS  lat(mean/p50/p99)=%7.1f/%7.1f/%7.1f ms  rounds=%-4d egress=%6.1f MB/s/node  agree=%b"
+    r.label r.throughput_ktps r.latency_mean_ms r.latency_p50_ms r.latency_p99_ms
+    r.rounds r.mb_per_node_per_s r.agreement

@@ -1,0 +1,1 @@
+lib/types/block.ml: Array Bytes Char Clanbft_crypto Digest32 Format Sha256 Transaction

@@ -1,0 +1,1 @@
+lib/types/block.mli: Clanbft_crypto Digest32 Format Transaction

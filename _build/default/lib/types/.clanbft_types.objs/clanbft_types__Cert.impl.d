@@ -1,0 +1,1 @@
+lib/types/cert.ml: Clanbft_crypto Clanbft_util Format Keychain Printf

@@ -1,0 +1,1 @@
+lib/types/cert.mli: Clanbft_crypto Format Keychain

@@ -1,0 +1,1 @@
+lib/types/codec.ml: Array Block Buffer Bytes Cert Char Clanbft_crypto Clanbft_util Digest32 Keychain Msg Printf String Transaction Vertex

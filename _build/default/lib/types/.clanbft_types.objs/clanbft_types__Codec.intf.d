@@ -1,0 +1,1 @@
+lib/types/codec.mli: Block Msg Vertex

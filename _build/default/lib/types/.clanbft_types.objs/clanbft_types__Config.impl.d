@@ -1,0 +1,1 @@
+lib/types/config.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/types/msg.ml: Block Cert Clanbft_crypto Digest32 Format Keychain String Vertex

@@ -1,0 +1,1 @@
+lib/types/msg.mli: Block Cert Clanbft_crypto Digest32 Format Keychain Vertex

@@ -1,0 +1,1 @@
+lib/types/transaction.ml: Clanbft_sim Format

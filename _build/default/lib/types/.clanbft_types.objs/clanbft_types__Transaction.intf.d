@@ -1,0 +1,1 @@
+lib/types/transaction.mli: Clanbft_sim Format

@@ -1,0 +1,1 @@
+lib/types/vertex.ml: Array Cert Clanbft_crypto Digest32 Format Int Printf Sha256

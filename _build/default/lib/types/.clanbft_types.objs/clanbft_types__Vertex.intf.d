@@ -1,0 +1,1 @@
+lib/types/vertex.mli: Cert Clanbft_crypto Digest32 Format

@@ -1,0 +1,366 @@
+open Clanbft_crypto
+module Bitset = Clanbft_util.Bitset
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+module W = struct
+  let create () = Buffer.create 256
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u32 b v =
+    if v < 0 then invalid_arg "Codec: negative u32";
+    u8 b (v lsr 24);
+    u8 b (v lsr 16);
+    u8 b (v lsr 8);
+    u8 b v
+
+  let i64 b v =
+    for byte = 7 downto 0 do
+      u8 b ((v asr (8 * byte)) land 0xff)
+    done
+
+  let raw b s = Buffer.add_string b s
+
+  (* Signatures are 32-byte simulated tags padded to the κ = 64 bytes a
+     real signature would occupy. *)
+  let raw_signature b s =
+    if String.length s <> 32 then invalid_arg "Codec: signature must be 32B";
+    raw b s;
+    raw b (String.make 32 '\x00')
+
+  let signature b s = raw_signature b (Keychain.signature_to_raw s)
+
+  let digest b d = raw b (Digest32.to_raw d)
+
+  let bitset b ~n set =
+    let bytes = Bytes.make ((n + 7) / 8) '\x00' in
+    Bitset.iter
+      (fun i ->
+        Bytes.set bytes (i / 8)
+          (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8)))))
+      set;
+    raw b (Bytes.unsafe_to_string bytes)
+
+  let aggregate b ~n agg =
+    raw_signature b (Keychain.aggregate_tag agg);
+    bitset b ~n (Keychain.signers agg)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reader *)
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  let create s = { s; pos = 0 }
+
+  let need r n =
+    if r.pos + n > String.length r.s then fail "truncated input (need %d)" n
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r =
+    need r 4;
+    let v =
+      (Char.code r.s.[r.pos] lsl 24)
+      lor (Char.code r.s.[r.pos + 1] lsl 16)
+      lor (Char.code r.s.[r.pos + 2] lsl 8)
+      lor Char.code r.s.[r.pos + 3]
+    in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8;
+    let v = ref 0 in
+    for _ = 1 to 8 do
+      v := (!v lsl 8) lor Char.code r.s.[r.pos];
+      r.pos <- r.pos + 1
+    done;
+    !v
+
+  let raw r n =
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let skip r n =
+    need r n;
+    r.pos <- r.pos + n
+
+  let raw_signature r =
+    let s = raw r 32 in
+    skip r 32;
+    s
+
+  let signature r = Keychain.signature_of_raw (raw_signature r)
+
+  let digest r = Digest32.of_raw (raw r 32)
+
+  let bitset r ~n =
+    let bytes = raw r ((n + 7) / 8) in
+    let set = Bitset.create n in
+    String.iteri
+      (fun byte_idx c ->
+        let c = Char.code c in
+        for bit = 0 to 7 do
+          if c land (1 lsl bit) <> 0 then begin
+            let i = (byte_idx * 8) + bit in
+            if i >= n then fail "bitset bit out of range";
+            ignore (Bitset.add set i)
+          end
+        done)
+      bytes;
+    set
+
+  let aggregate r ~n =
+    let tag = raw_signature r in
+    let signers = bitset r ~n in
+    Keychain.aggregate_of_wire ~tag ~signers
+
+  let eof r = if r.pos <> String.length r.s then fail "trailing bytes"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Domain values *)
+
+let write_txn b (t : Transaction.t) =
+  W.i64 b t.id;
+  W.u32 b t.client;
+  W.i64 b t.created_at;
+  W.u32 b t.size;
+  W.raw b (String.make t.size '\x00')
+
+let read_txn r =
+  let id = R.i64 r in
+  let client = R.u32 r in
+  let created_at = R.i64 r in
+  let size = R.u32 r in
+  R.skip r size;
+  Transaction.make ~id ~client ~created_at ~size ()
+
+let write_block b (blk : Block.t) =
+  W.u32 b blk.proposer;
+  W.u32 b blk.round;
+  W.u32 b (Array.length blk.txns);
+  Array.iter (write_txn b) blk.txns
+
+let read_block r =
+  let proposer = R.u32 r in
+  let round = R.u32 r in
+  let count = R.u32 r in
+  let txns = Array.init count (fun _ -> read_txn r) in
+  Block.make ~proposer ~round ~txns
+
+let write_vref b (v : Vertex.vref) =
+  W.u32 b v.round;
+  W.u32 b v.source;
+  W.digest b v.digest
+
+let read_vref r : Vertex.vref =
+  let round = R.u32 r in
+  let source = R.u32 r in
+  let digest = R.digest r in
+  { round; source; digest }
+
+let write_cert b ~n (c : Cert.t) =
+  W.u8 b (match c.kind with Cert.Timeout -> 0 | Cert.No_vote -> 1);
+  W.u32 b c.round;
+  W.aggregate b ~n c.agg
+
+let read_cert r ~n =
+  let kind =
+    match R.u8 r with
+    | 0 -> Cert.Timeout
+    | 1 -> Cert.No_vote
+    | k -> fail "bad cert kind %d" k
+  in
+  let round = R.u32 r in
+  let agg = R.aggregate r ~n in
+  Cert.of_wire kind ~round ~agg
+
+let write_cert_opt b ~n = function
+  | None -> W.u8 b 0
+  | Some c ->
+      W.u8 b 1;
+      write_cert b ~n c
+
+let read_cert_opt r ~n =
+  match R.u8 r with
+  | 0 -> None
+  | 1 -> Some (read_cert r ~n)
+  | k -> fail "bad cert option %d" k
+
+let write_vertex b ~n (v : Vertex.t) =
+  W.u32 b v.round;
+  W.u32 b v.source;
+  W.digest b v.block_digest;
+  W.u32 b (Array.length v.strong_edges);
+  Array.iter (write_vref b) v.strong_edges;
+  W.u32 b (Array.length v.weak_edges);
+  Array.iter (write_vref b) v.weak_edges;
+  write_cert_opt b ~n v.nvc;
+  write_cert_opt b ~n v.tc
+
+let read_vertex r ~n =
+  let round = R.u32 r in
+  let source = R.u32 r in
+  let block_digest = R.digest r in
+  let strong_count = R.u32 r in
+  let strong_edges = Array.init strong_count (fun _ -> read_vref r) in
+  let weak_count = R.u32 r in
+  let weak_edges = Array.init weak_count (fun _ -> read_vref r) in
+  let nvc = read_cert_opt r ~n in
+  let tc = read_cert_opt r ~n in
+  Vertex.make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc ()
+
+let write_block_opt b = function
+  | None -> W.u8 b 0
+  | Some blk ->
+      W.u8 b 1;
+      write_block b blk
+
+let read_block_opt r =
+  match R.u8 r with
+  | 0 -> None
+  | 1 -> Some (read_block r)
+  | k -> fail "bad block option %d" k
+
+(* ------------------------------------------------------------------ *)
+(* Messages *)
+
+let encode ~n msg =
+  let b = W.create () in
+  (match msg with
+  | Msg.Val { vertex; block; signature } ->
+      W.u8 b 0;
+      write_vertex b ~n vertex;
+      write_block_opt b block;
+      W.signature b signature
+  | Msg.Echo { round; source; vertex_digest; signer; signature } ->
+      W.u8 b 1;
+      W.u32 b round;
+      W.u32 b source;
+      W.digest b vertex_digest;
+      W.u32 b signer;
+      W.signature b signature
+  | Msg.Echo_cert { round; source; vertex_digest; agg; clan_echoes } ->
+      W.u8 b 2;
+      W.u32 b round;
+      W.u32 b source;
+      W.digest b vertex_digest;
+      W.aggregate b ~n agg;
+      W.u32 b clan_echoes
+  | Msg.Timeout_share { round; signer; signature } ->
+      W.u8 b 3;
+      W.u32 b round;
+      W.u32 b signer;
+      W.signature b signature
+  | Msg.No_vote_share { round; signer; signature } ->
+      W.u8 b 4;
+      W.u32 b round;
+      W.u32 b signer;
+      W.signature b signature
+  | Msg.Timeout_cert c ->
+      W.u8 b 5;
+      write_cert b ~n c
+  | Msg.Block_request { round; source } ->
+      W.u8 b 6;
+      W.u32 b round;
+      W.u32 b source
+  | Msg.Block_reply { block } ->
+      W.u8 b 7;
+      write_block b block
+  | Msg.Vertex_request { round; source } ->
+      W.u8 b 8;
+      W.u32 b round;
+      W.u32 b source
+  | Msg.Vertex_reply { vertex; block } ->
+      W.u8 b 9;
+      write_vertex b ~n vertex;
+      write_block_opt b block);
+  Buffer.contents b
+
+let decode ~n s =
+  let r = R.create s in
+  let msg =
+    match R.u8 r with
+    | 0 ->
+        let vertex = read_vertex r ~n in
+        let block = read_block_opt r in
+        let signature = R.signature r in
+        Msg.Val { vertex; block; signature }
+    | 1 ->
+        let round = R.u32 r in
+        let source = R.u32 r in
+        let vertex_digest = R.digest r in
+        let signer = R.u32 r in
+        let signature = R.signature r in
+        Msg.Echo { round; source; vertex_digest; signer; signature }
+    | 2 ->
+        let round = R.u32 r in
+        let source = R.u32 r in
+        let vertex_digest = R.digest r in
+        let agg = R.aggregate r ~n in
+        let clan_echoes = R.u32 r in
+        Msg.Echo_cert { round; source; vertex_digest; agg; clan_echoes }
+    | 3 ->
+        let round = R.u32 r in
+        let signer = R.u32 r in
+        let signature = R.signature r in
+        Msg.Timeout_share { round; signer; signature }
+    | 4 ->
+        let round = R.u32 r in
+        let signer = R.u32 r in
+        let signature = R.signature r in
+        Msg.No_vote_share { round; signer; signature }
+    | 5 -> Msg.Timeout_cert (read_cert r ~n)
+    | 6 ->
+        let round = R.u32 r in
+        let source = R.u32 r in
+        Msg.Block_request { round; source }
+    | 7 -> Msg.Block_reply { block = read_block r }
+    | 8 ->
+        let round = R.u32 r in
+        let source = R.u32 r in
+        Msg.Vertex_request { round; source }
+    | 9 ->
+        let vertex = read_vertex r ~n in
+        let block = read_block_opt r in
+        Msg.Vertex_reply { vertex; block }
+    | t -> fail "bad message tag %d" t
+  in
+  R.eof r;
+  msg
+
+let encode_vertex ~n v =
+  let b = W.create () in
+  write_vertex b ~n v;
+  Buffer.contents b
+
+let decode_vertex ~n s =
+  let r = R.create s in
+  let v = read_vertex r ~n in
+  R.eof r;
+  v
+
+let encode_block blk =
+  let b = W.create () in
+  write_block b blk;
+  Buffer.contents b
+
+let decode_block s =
+  let r = R.create s in
+  let blk = read_block r in
+  R.eof r;
+  blk

@@ -1,0 +1,26 @@
+(** Binary codec for {!Msg.t}.
+
+    The simulator itself moves OCaml values, not bytes — but the byte format
+    matters twice: (1) {!Msg.wire_size} must account exactly the bytes a
+    real deployment would send (it drives the bandwidth model), and (2) a
+    persistent store needs a serial form. The invariant
+    [String.length (encode ~n m) = Msg.wire_size ~n m] is enforced by a
+    property test.
+
+    Encoding notes: integers are big-endian fixed width; signatures occupy
+    the full κ = 64 wire bytes (zero-padded — the simulated tags are 32
+    bytes); transaction payloads are zero-filled to their declared size. *)
+
+exception Decode_error of string
+
+val encode : n:int -> Msg.t -> string
+val decode : n:int -> string -> Msg.t
+(** Raises {!Decode_error} on malformed input. Round-trips with {!encode}
+    up to signature padding (padding is stripped back to 32-byte tags). *)
+
+(** Standalone entry points used by the store and tests. *)
+
+val encode_vertex : n:int -> Vertex.t -> string
+val decode_vertex : n:int -> string -> Vertex.t
+val encode_block : Block.t -> string
+val decode_block : string -> Block.t

@@ -1,0 +1,82 @@
+open Clanbft_crypto
+
+type t =
+  | Val of { vertex : Vertex.t; block : Block.t option; signature : Keychain.signature }
+  | Echo of {
+      round : int;
+      source : int;
+      vertex_digest : Digest32.t;
+      signer : int;
+      signature : Keychain.signature;
+    }
+  | Echo_cert of {
+      round : int;
+      source : int;
+      vertex_digest : Digest32.t;
+      agg : Keychain.aggregate;
+      clan_echoes : int;
+    }
+  | Timeout_share of { round : int; signer : int; signature : Keychain.signature }
+  | No_vote_share of { round : int; signer : int; signature : Keychain.signature }
+  | Timeout_cert of Cert.t
+  | Block_request of { round : int; source : int }
+  | Block_reply of { block : Block.t }
+  | Vertex_request of { round : int; source : int }
+  | Vertex_reply of { vertex : Vertex.t; block : Block.t option }
+
+let echo_signing_string ~round ~source digest =
+  String.concat ""
+    [ "echo|"; string_of_int round; "|"; string_of_int source; "|";
+      Digest32.to_raw digest ]
+
+let sig_size = Keychain.signature_size
+let agg_size ~n = Keychain.signature_size + ((n + 7) / 8)
+
+let wire_size ~n t =
+  match t with
+  | Val { vertex; block; _ } ->
+      1 + Vertex.wire_size ~n vertex
+      + (match block with None -> 1 | Some b -> 1 + Block.wire_size b)
+      + sig_size
+  | Echo _ -> 1 + 4 + 4 + Digest32.size + 4 + sig_size
+  | Echo_cert _ -> 1 + 4 + 4 + Digest32.size + agg_size ~n + 4
+  | Timeout_share _ | No_vote_share _ -> 1 + 4 + 4 + sig_size
+  | Timeout_cert _ -> 1 + Cert.wire_size ~n
+  | Block_request _ | Vertex_request _ -> 1 + 4 + 4
+  | Block_reply { block } -> 1 + Block.wire_size block
+  | Vertex_reply { vertex; block } ->
+      1 + Vertex.wire_size ~n vertex
+      + (match block with None -> 1 | Some b -> 1 + Block.wire_size b)
+
+let tag = function
+  | Val _ -> "val"
+  | Echo _ -> "echo"
+  | Echo_cert _ -> "echo_cert"
+  | Timeout_share _ -> "timeout_share"
+  | No_vote_share _ -> "no_vote_share"
+  | Timeout_cert _ -> "timeout_cert"
+  | Block_request _ -> "block_request"
+  | Block_reply _ -> "block_reply"
+  | Vertex_request _ -> "vertex_request"
+  | Vertex_reply _ -> "vertex_reply"
+
+let pp ppf t =
+  match t with
+  | Val { vertex; block; _ } ->
+      Format.fprintf ppf "val(%a%s)" Vertex.pp vertex
+        (match block with None -> "" | Some _ -> "+block")
+  | Echo { round; source; signer; _ } ->
+      Format.fprintf ppf "echo(r%d,src=%d,by=%d)" round source signer
+  | Echo_cert { round; source; clan_echoes; _ } ->
+      Format.fprintf ppf "echo_cert(r%d,src=%d,clan=%d)" round source clan_echoes
+  | Timeout_share { round; signer; _ } ->
+      Format.fprintf ppf "timeout_share(r%d,by=%d)" round signer
+  | No_vote_share { round; signer; _ } ->
+      Format.fprintf ppf "no_vote_share(r%d,by=%d)" round signer
+  | Timeout_cert c -> Format.fprintf ppf "timeout_cert(%a)" Cert.pp c
+  | Block_request { round; source } ->
+      Format.fprintf ppf "block_request(r%d,src=%d)" round source
+  | Block_reply { block } -> Format.fprintf ppf "block_reply(%a)" Block.pp block
+  | Vertex_request { round; source } ->
+      Format.fprintf ppf "vertex_request(r%d,src=%d)" round source
+  | Vertex_reply { vertex; _ } -> Format.fprintf ppf "vertex_reply(%a)" Vertex.pp vertex

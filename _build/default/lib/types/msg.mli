@@ -1,0 +1,55 @@
+(** Wire messages of the combined vertex+block dissemination and the
+    Sailfish consensus layer (§5 "Efficiently propagating the vertex and the
+    block", §7 implementation details).
+
+    One RBC instance exists per (proposer, round) slot. The instance merges
+    the round-optimal signed RBC for the vertex with the two-round
+    tribe-assisted RBC for the block: VAL carries the vertex to everyone and
+    additionally the block to the proposer's clan; ECHO acknowledges the pair
+    (or the vertex alone outside the clan); an ECHO certificate (2f+1 ECHOs,
+    ≥ fc+1 from the clan) finishes the broadcast. Missing blocks/vertices are
+    pulled off the critical path. *)
+
+open Clanbft_crypto
+
+type t =
+  | Val of { vertex : Vertex.t; block : Block.t option; signature : Keychain.signature }
+      (** First round of the RBC: the proposal. [block] is present only on
+          copies sent to the proposer's clan. Doubles as the commit vote
+          carrier: a VAL for round r+1 with a strong edge to the round-r
+          leader is a vote for it. *)
+  | Echo of {
+      round : int;
+      source : int;  (** the RBC proposer being echoed *)
+      vertex_digest : Digest32.t;
+      signer : int;
+      signature : Keychain.signature;
+    }
+  | Echo_cert of {
+      round : int;
+      source : int;
+      vertex_digest : Digest32.t;
+      agg : Keychain.aggregate;
+      clan_echoes : int;  (** how many aggregated ECHOs came from the clan *)
+    }  (** EC_r(m) of Fig. 3: completes the RBC in two rounds. *)
+  | Timeout_share of { round : int; signer : int; signature : Keychain.signature }
+  | No_vote_share of { round : int; signer : int; signature : Keychain.signature }
+  | Timeout_cert of Cert.t
+      (** Multicast so every party can advance past a stalled round. *)
+  | Block_request of { round : int; source : int }
+      (** Pull a missing block from a clan member (off the critical path). *)
+  | Block_reply of { block : Block.t }
+  | Vertex_request of { round : int; source : int }
+  | Vertex_reply of { vertex : Vertex.t; block : Block.t option }
+
+val echo_signing_string : round:int -> source:int -> Digest32.t -> string
+(** Canonical string ECHO signatures cover. *)
+
+val wire_size : n:int -> t -> int
+(** Exact bytes on the wire; kept in lock-step with {!Codec} by a property
+    test ([wire_size] must equal the encoded length). *)
+
+val tag : t -> string
+(** Constructor name, for logs and traffic accounting. *)
+
+val pp : Format.formatter -> t -> unit

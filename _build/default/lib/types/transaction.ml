@@ -1,0 +1,12 @@
+type t = { id : int; client : int; created_at : Clanbft_sim.Time.t; size : int }
+
+let default_size = 512
+
+let make ~id ~client ~created_at ?(size = default_size) () =
+  if size < 0 then invalid_arg "Transaction.make: negative size";
+  { id; client; created_at; size }
+
+let wire_size t = 24 + t.size
+
+let pp ppf t =
+  Format.fprintf ppf "txn#%d(client=%d,%dB)" t.id t.client t.size

@@ -1,0 +1,94 @@
+open Clanbft_crypto
+
+type vref = { round : int; source : int; digest : Digest32.t }
+
+type t = {
+  round : int;
+  source : int;
+  block_digest : Digest32.t;
+  strong_edges : vref array;
+  weak_edges : vref array;
+  nvc : Cert.t option;
+  tc : Cert.t option;
+  digest : Digest32.t;
+}
+
+let compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges ~nvc
+    ~tc =
+  let ctx = Sha256.init () in
+  Sha256.feed_string ctx (Printf.sprintf "vertex|%d|%d|" round source);
+  Sha256.feed_string ctx (Digest32.to_raw block_digest);
+  let feed_edges label edges =
+    Sha256.feed_string ctx label;
+    Array.iter
+      (fun (e : vref) ->
+        Sha256.feed_string ctx (Printf.sprintf "%d,%d," e.round e.source);
+        Sha256.feed_string ctx (Digest32.to_raw e.digest))
+      edges
+  in
+  feed_edges "strong:" strong_edges;
+  feed_edges "weak:" weak_edges;
+  let feed_cert label = function
+    | None -> Sha256.feed_string ctx (label ^ "none")
+    | Some (c : Cert.t) ->
+        Sha256.feed_string ctx
+          (Printf.sprintf "%s%d/%d" label c.round (Cert.signer_count c))
+  in
+  feed_cert "nvc:" nvc;
+  feed_cert "tc:" tc;
+  Digest32.of_raw (Sha256.finalize ctx)
+
+let make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc () =
+  if round < 0 then invalid_arg "Vertex.make: negative round";
+  Array.iter
+    (fun (e : vref) ->
+      if e.round <> round - 1 then
+        invalid_arg "Vertex.make: strong edge must target previous round")
+    strong_edges;
+  Array.iter
+    (fun (e : vref) ->
+      if e.round >= round - 1 then
+        invalid_arg "Vertex.make: weak edge must target round < r-1")
+    weak_edges;
+  {
+    round;
+    source;
+    block_digest;
+    strong_edges;
+    weak_edges;
+    nvc;
+    tc;
+    digest =
+      compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges
+        ~nvc ~tc;
+  }
+
+let ref_of t = { round = t.round; source = t.source; digest = t.digest }
+let vref_wire_size = 4 + 4 + Digest32.size
+
+let wire_size ~n t =
+  let cert = function None -> 1 | Some _ -> 1 + Cert.wire_size ~n in
+  (* round + source + block digest + edge counts *)
+  4 + 4 + Digest32.size + 4
+  + (Array.length t.strong_edges * vref_wire_size)
+  + 4
+  + (Array.length t.weak_edges * vref_wire_size)
+  + cert t.nvc + cert t.tc
+
+let has_strong_edge_to t ~round ~source =
+  round = t.round - 1
+  && Array.exists (fun (e : vref) -> e.source = source) t.strong_edges
+
+let pp ppf t =
+  Format.fprintf ppf "vertex(%d@r%d,%d strong,%d weak%s%s)" t.source t.round
+    (Array.length t.strong_edges)
+    (Array.length t.weak_edges)
+    (if t.nvc <> None then ",nvc" else "")
+    (if t.tc <> None then ",tc" else "")
+
+module Id = struct
+  type t = int * int
+
+  let compare (r1, s1) (r2, s2) =
+    match Int.compare r1 r2 with 0 -> Int.compare s1 s2 | c -> c
+end

@@ -1,0 +1,8 @@
+(** Hexadecimal encoding of byte strings (digest rendering, test vectors). *)
+
+val encode : string -> string
+(** Lowercase hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of [encode]; raises [Invalid_argument] on odd length or non-hex
+    characters. Accepts both cases. *)

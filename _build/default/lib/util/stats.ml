@@ -1,0 +1,89 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Array.make 64 0.0; len = 0; sorted = true }
+
+let add t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+let is_empty t = t.len = 0
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum +. t.samples.(i)
+    done;
+    !sum /. float_of_int t.len
+  end
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let m = mean t in
+    let sum = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      let d = t.samples.(i) -. m in
+      sum := !sum +. (d *. d)
+    done;
+    sqrt (!sum /. float_of_int (t.len - 1))
+  end
+
+let fold_extreme f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.samples.(i)
+  done;
+  !acc
+
+let min t =
+  if t.len = 0 then invalid_arg "Stats.min: empty";
+  fold_extreme Float.min Float.infinity t
+
+let max t =
+  if t.len = 0 then invalid_arg "Stats.max: empty";
+  fold_extreme Float.max Float.neg_infinity t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare view;
+    Array.blit view 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted t;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+  let idx = Stdlib.max 0 (Stdlib.min (t.len - 1) (rank - 1)) in
+  t.samples.(idx)
+
+let summary t =
+  if t.len = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" t.len (mean t)
+      (percentile t 50.0) (percentile t 99.0) (max t)
+
+module Counter = struct
+  type t = int ref
+
+  let create () = ref 0
+  let incr t = Stdlib.incr t
+  let add t n = t := !t + n
+  let get t = !t
+  let reset t = t := 0
+end

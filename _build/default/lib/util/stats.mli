@@ -1,0 +1,32 @@
+(** Sample collection and summary statistics for experiment metrics. *)
+
+type t
+(** A mutable reservoir of float samples (e.g. per-transaction latencies). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val is_empty : t -> bool
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], nearest-rank on the sorted
+    samples. Raises [Invalid_argument] on an empty reservoir. *)
+
+val summary : t -> string
+(** One-line human-readable summary: n/mean/p50/p99/max. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Clanbft List Nat QCheck QCheck_alcotest Rat

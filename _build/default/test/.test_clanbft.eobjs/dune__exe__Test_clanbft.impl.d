@@ -1,0 +1,1 @@
+test/test_clanbft.ml: Alcotest Test_bigint Test_committee Test_consensus Test_crypto Test_dag Test_poa Test_rbc Test_sim Test_smr Test_types Test_util

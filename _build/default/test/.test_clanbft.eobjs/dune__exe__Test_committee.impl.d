@@ -1,0 +1,1 @@
+test/test_committee.ml: Alcotest Array Bigint Clanbft Committee List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Block Clanbft Config Digest32 Engine Hashtbl Keychain Latency_model List Msg Net Option Printf Sailfish String Time Topology Transaction Util Vertex

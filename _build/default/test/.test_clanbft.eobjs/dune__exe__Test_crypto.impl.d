@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Clanbft Digest32 Keychain List Option Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Clanbft Dag_store Digest32 List Option Vertex

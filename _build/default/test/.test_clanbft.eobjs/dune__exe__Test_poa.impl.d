@@ -1,0 +1,1 @@
+test/test_poa.ml: Alcotest Array Clanbft Engine Net Poa_smr Printf Runner Time Topology

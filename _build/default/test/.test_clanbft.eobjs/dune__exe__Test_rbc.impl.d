@@ -1,0 +1,1 @@
+test/test_rbc.ml: Alcotest Array Clanbft Digest32 Engine Keychain List Net Option Printf Rbc Time Topology Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Clanbft Engine List Net QCheck QCheck_alcotest String Time Topology

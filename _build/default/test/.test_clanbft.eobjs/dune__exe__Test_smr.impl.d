@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Block Clanbft Client Config Digest32 Engine Execution Keychain List Mempool Msg Net Node Persist Printf QCheck QCheck_alcotest Runner Time Topology Transaction Util

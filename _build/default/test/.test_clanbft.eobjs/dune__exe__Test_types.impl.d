@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Block Cert Clanbft Codec Config Digest32 Keychain List Msg Option Printf QCheck QCheck_alcotest String Transaction Vertex

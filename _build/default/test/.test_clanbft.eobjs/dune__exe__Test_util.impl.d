@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Bytes Clanbft Hashtbl Heap Hex List QCheck QCheck_alcotest Rng Stats

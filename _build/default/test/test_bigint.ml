@@ -1,0 +1,221 @@
+open Clanbft.Bigint
+
+let qtest = QCheck_alcotest.to_alcotest
+let nat = Alcotest.testable Nat.pp Nat.equal
+let nat_arb = QCheck.map Nat.of_int (QCheck.int_bound 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Nat *)
+
+let test_nat_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "roundtrip" (Some n) (Nat.to_int_opt (Nat.of_int n)))
+    [ 0; 1; 42; 1 lsl 30; (1 lsl 30) - 1; 1 lsl 45; max_int ]
+
+let test_nat_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_nat_big_roundtrip () =
+  let s = "340282366920938463463374607431768211456" (* 2^128 *) in
+  Alcotest.(check string) "decimal roundtrip" s (Nat.to_string (Nat.of_string s));
+  Alcotest.check nat "2^128 by pow" (Nat.of_string s) (Nat.pow (Nat.of_int 2) 128)
+
+let test_nat_to_int_overflow () =
+  Alcotest.(check (option int)) "too big" None
+    (Nat.to_int_opt (Nat.pow (Nat.of_int 2) 70))
+
+let test_nat_sub_underflow () =
+  Alcotest.check_raises "underflow" (Invalid_argument "Nat.sub: would be negative")
+    (fun () -> ignore (Nat.sub (Nat.of_int 1) (Nat.of_int 2)))
+
+let test_nat_divmod_int () =
+  let q, r = Nat.divmod_int (Nat.of_string "1000000000000000000000") 7 in
+  Alcotest.(check int) "rem" 6 r;
+  Alcotest.check nat "q*7+r" (Nat.of_string "1000000000000000000000")
+    (Nat.add (Nat.mul_int q 7) (Nat.of_int r))
+
+let test_nat_divmod_big () =
+  let a = Nat.of_string "123456789123456789123456789123456789" in
+  let b = Nat.of_string "987654321987654321" in
+  let q, r = Nat.divmod a b in
+  Alcotest.check nat "a = q*b + r" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0)
+
+let test_nat_divmod_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod (Nat.of_int 5) Nat.zero))
+
+let test_nat_gcd_known () =
+  Alcotest.check nat "gcd(48,36)=12" (Nat.of_int 12)
+    (Nat.gcd (Nat.of_int 48) (Nat.of_int 36));
+  Alcotest.check nat "gcd(0,x)=x" (Nat.of_int 9) (Nat.gcd Nat.zero (Nat.of_int 9))
+
+let test_nat_bits () =
+  Alcotest.(check int) "bits 0" 0 (Nat.bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.bits Nat.one);
+  Alcotest.(check int) "bits 2^100" 101 (Nat.bits (Nat.pow (Nat.of_int 2) 100))
+
+let test_nat_shift () =
+  let x = Nat.of_string "12345678901234567890" in
+  Alcotest.check nat "shl1 = *2" (Nat.mul_int x 2) (Nat.shift_left1 x);
+  Alcotest.check nat "shr1 of shl1" x (Nat.shift_right1 (Nat.shift_left1 x));
+  Alcotest.check nat "shift_left 64" (Nat.mul x (Nat.pow (Nat.of_int 2) 64))
+    (Nat.shift_left x 64)
+
+let test_nat_to_float () =
+  Alcotest.(check (float 1e-6)) "small" 12345.0 (Nat.to_float (Nat.of_int 12345));
+  let f, e = Nat.to_float_exp (Nat.pow (Nat.of_int 2) 1000) in
+  Alcotest.(check (float 1e-9)) "mantissa of power of two" 1.0 f;
+  Alcotest.(check int) "exponent" 1000 e
+
+let prop_nat_add_oracle =
+  QCheck.Test.make ~name:"nat add agrees with int" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (a, b) ->
+      Nat.to_int_opt (Nat.add (Nat.of_int a) (Nat.of_int b)) = Some (a + b))
+
+let prop_nat_mul_oracle =
+  QCheck.Test.make ~name:"nat mul agrees with int" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      Nat.to_int_opt (Nat.mul (Nat.of_int a) (Nat.of_int b)) = Some (a * b))
+
+let prop_nat_sub_oracle =
+  QCheck.Test.make ~name:"nat sub agrees with int" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (a, b) ->
+      let hi = max a b and lo = min a b in
+      Nat.to_int_opt (Nat.sub (Nat.of_int hi) (Nat.of_int lo)) = Some (hi - lo))
+
+let prop_nat_divmod_invariant =
+  QCheck.Test.make ~name:"divmod invariant on large operands" ~count:200
+    QCheck.(pair nat_arb (pair nat_arb nat_arb))
+    (fun (a, (b, c)) ->
+      (* Build large operands from products of mediums. *)
+      let x = Nat.add (Nat.mul a (Nat.mul b c)) b in
+      let d = Nat.add (Nat.mul a b) Nat.one in
+      let q, r = Nat.divmod x d in
+      Nat.equal x (Nat.add (Nat.mul q d) r) && Nat.compare r d < 0)
+
+let prop_nat_string_roundtrip =
+  QCheck.Test.make ~name:"decimal string round-trips" ~count:200
+    QCheck.(pair nat_arb nat_arb)
+    (fun (a, b) ->
+      let x = Nat.mul a (Nat.mul b b) in
+      Nat.equal x (Nat.of_string (Nat.to_string x)))
+
+let prop_nat_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let g = Nat.gcd (Nat.of_int a) (Nat.of_int b) in
+      let _, r1 = Nat.divmod (Nat.of_int a) g in
+      let _, r2 = Nat.divmod (Nat.of_int b) g in
+      Nat.is_zero r1 && Nat.is_zero r2)
+
+(* ------------------------------------------------------------------ *)
+(* Rat *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalisation () =
+  Alcotest.check rat "2/4 = 1/2" (Rat.of_ints 1 2) (Rat.of_ints 2 4);
+  Alcotest.(check bool) "num reduced" true
+    (Nat.equal (Rat.num (Rat.of_ints 2 4)) Nat.one)
+
+let test_rat_signs () =
+  Alcotest.check rat "-1/2 = 1/-2" (Rat.of_ints (-1) 2) (Rat.of_ints 1 (-2));
+  Alcotest.check rat "-1/-2 = 1/2" (Rat.of_ints 1 2) (Rat.of_ints (-1) (-2));
+  Alcotest.(check bool) "zero not negative" false (Rat.is_negative (Rat.of_ints 0 (-5)))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/3+1/6" (Rat.of_ints 1 2) (Rat.add (Rat.of_ints 1 3) (Rat.of_ints 1 6));
+  Alcotest.check rat "1/2-1/3" (Rat.of_ints 1 6) (Rat.sub (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rat "neg result" (Rat.of_ints (-1) 6) (Rat.sub (Rat.of_ints 1 3) (Rat.of_ints 1 2));
+  Alcotest.check rat "2/3*3/4" (Rat.of_ints 1 2) (Rat.mul (Rat.of_ints 2 3) (Rat.of_ints 3 4));
+  Alcotest.check rat "div" (Rat.of_ints 8 9) (Rat.div (Rat.of_ints 2 3) (Rat.of_ints 3 4))
+
+let test_rat_compare () =
+  Alcotest.(check int) "1/3 < 1/2" (-1) (Rat.compare (Rat.of_ints 1 3) (Rat.of_ints 1 2));
+  Alcotest.(check int) "-1/2 < 1/3" (-1) (Rat.compare (Rat.of_ints (-1) 2) (Rat.of_ints 1 3));
+  Alcotest.(check int) "equal" 0 (Rat.compare (Rat.of_ints 3 9) (Rat.of_ints 1 3))
+
+let test_rat_pow2 () =
+  Alcotest.check rat "2^3" (Rat.of_int 8) (Rat.pow2 3);
+  Alcotest.check rat "2^-2" (Rat.of_ints 1 4) (Rat.pow2 (-2));
+  Alcotest.(check bool) "2^-30 ~ 1e-9" true
+    (abs_float (Rat.to_float (Rat.pow2 (-30)) -. 9.3132e-10) < 1e-13)
+
+let test_rat_to_float_huge () =
+  (* Both components individually overflow floats; the ratio must not. *)
+  let huge = Nat.pow (Nat.of_int 10) 400 in
+  let r = Rat.make (Nat.mul_int huge 3) (Nat.mul_int huge 4) in
+  Alcotest.(check (float 1e-12)) "3/4" 0.75 (Rat.to_float r)
+
+let test_rat_scientific () =
+  Alcotest.(check string) "0.5" "5.000e-01" (Rat.to_scientific (Rat.of_ints 1 2));
+  Alcotest.(check string) "zero" "0" (Rat.to_scientific Rat.zero);
+  Alcotest.(check string) "negative" "-2.500e-01" (Rat.to_scientific (Rat.of_ints (-1) 4));
+  Alcotest.(check string) "big" "1.000e+06" (Rat.to_scientific (Rat.of_int 1_000_000))
+
+let test_rat_div_by_zero () =
+  Alcotest.check_raises "div zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let prop_rat_float_oracle =
+  QCheck.Test.make ~name:"rat arithmetic agrees with floats" ~count:300
+    QCheck.(quad (int_range 1 1000) (int_range 1 1000) (int_range 1 1000) (int_range 1 1000))
+    (fun (a, b, c, d) ->
+      let r = Rat.add (Rat.of_ints a b) (Rat.of_ints c d) in
+      let f = (float_of_int a /. float_of_int b) +. (float_of_int c /. float_of_int d) in
+      abs_float (Rat.to_float r -. f) < 1e-9)
+
+let prop_rat_compare_consistent =
+  QCheck.Test.make ~name:"compare consistent with sub sign" ~count:300
+    QCheck.(quad (int_range (-100) 100) (int_range 1 100) (int_range (-100) 100) (int_range 1 100))
+    (fun (a, b, c, d) ->
+      let x = Rat.of_ints a b and y = Rat.of_ints c d in
+      let diff = Rat.sub x y in
+      match Rat.compare x y with
+      | 0 -> Rat.is_zero diff
+      | n when n < 0 -> Rat.is_negative diff
+      | _ -> (not (Rat.is_negative diff)) && not (Rat.is_zero diff))
+
+let suites =
+  [
+    ( "bigint.nat",
+      [
+        Alcotest.test_case "of/to int" `Quick test_nat_of_to_int;
+        Alcotest.test_case "negative of_int" `Quick test_nat_of_int_negative;
+        Alcotest.test_case "big decimal roundtrip" `Quick test_nat_big_roundtrip;
+        Alcotest.test_case "to_int overflow" `Quick test_nat_to_int_overflow;
+        Alcotest.test_case "sub underflow" `Quick test_nat_sub_underflow;
+        Alcotest.test_case "divmod_int" `Quick test_nat_divmod_int;
+        Alcotest.test_case "divmod big" `Quick test_nat_divmod_big;
+        Alcotest.test_case "divmod zero" `Quick test_nat_divmod_zero;
+        Alcotest.test_case "gcd known" `Quick test_nat_gcd_known;
+        Alcotest.test_case "bits" `Quick test_nat_bits;
+        Alcotest.test_case "shifts" `Quick test_nat_shift;
+        Alcotest.test_case "to_float" `Quick test_nat_to_float;
+        qtest prop_nat_add_oracle;
+        qtest prop_nat_mul_oracle;
+        qtest prop_nat_sub_oracle;
+        qtest prop_nat_divmod_invariant;
+        qtest prop_nat_string_roundtrip;
+        qtest prop_nat_gcd_divides;
+      ] );
+    ( "bigint.rat",
+      [
+        Alcotest.test_case "normalisation" `Quick test_rat_normalisation;
+        Alcotest.test_case "signs" `Quick test_rat_signs;
+        Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+        Alcotest.test_case "compare" `Quick test_rat_compare;
+        Alcotest.test_case "pow2" `Quick test_rat_pow2;
+        Alcotest.test_case "to_float huge" `Quick test_rat_to_float_huge;
+        Alcotest.test_case "scientific" `Quick test_rat_scientific;
+        Alcotest.test_case "div by zero" `Quick test_rat_div_by_zero;
+        qtest prop_rat_float_oracle;
+        qtest prop_rat_compare_consistent;
+      ] );
+  ]

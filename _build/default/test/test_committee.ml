@@ -1,0 +1,254 @@
+open Clanbft
+module Analysis = Committee
+module Nat = Bigint.Nat
+module Rat = Bigint.Rat
+
+let qtest = QCheck_alcotest.to_alcotest
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+(* ------------------------------------------------------------------ *)
+(* Binomials *)
+
+let test_binomial_small () =
+  Alcotest.check nat "C(5,2)" (Nat.of_int 10) (Analysis.binomial 5 2);
+  Alcotest.check nat "C(10,0)" Nat.one (Analysis.binomial 10 0);
+  Alcotest.check nat "C(10,10)" Nat.one (Analysis.binomial 10 10);
+  Alcotest.check nat "C(10,11)" Nat.zero (Analysis.binomial 10 11);
+  Alcotest.check nat "C(10,-1)" Nat.zero (Analysis.binomial 10 (-1))
+
+let test_binomial_large () =
+  (* C(100, 50), a 30-digit number, against the known value. *)
+  Alcotest.check nat "C(100,50)"
+    (Nat.of_string "100891344545564193334812497256")
+    (Analysis.binomial 100 50)
+
+let prop_binomial_pascal =
+  QCheck.Test.make ~name:"Pascal's rule" ~count:200
+    QCheck.(pair (int_range 1 120) (int_range 0 120))
+    (fun (n, k) ->
+      let k = min k n in
+      Nat.equal (Analysis.binomial (n + 1) k)
+        (Nat.add (Analysis.binomial n k) (Analysis.binomial n (k - 1))))
+
+let prop_binomial_symmetry =
+  QCheck.Test.make ~name:"C(n,k) = C(n,n-k)" ~count:200
+    QCheck.(pair (int_range 0 150) (int_range 0 150))
+    (fun (n, k) ->
+      let k = min k n in
+      Nat.equal (Analysis.binomial n k) (Analysis.binomial n (n - k)))
+
+(* ------------------------------------------------------------------ *)
+(* Single-clan analysis *)
+
+let test_fault_bounds () =
+  Alcotest.(check int) "f at 100" 33 (Analysis.default_f 100);
+  Alcotest.(check int) "f at 150" 49 (Analysis.default_f 150);
+  Alcotest.(check int) "fc of 75" 37 (Analysis.max_clan_faults 75);
+  Alcotest.(check int) "fc of 80" 39 (Analysis.max_clan_faults 80);
+  Alcotest.(check int) "fc of 2" 0 (Analysis.max_clan_faults 2)
+
+let test_single_clan_degenerate () =
+  (* A clan of the whole tribe fails iff f >= majority — never, for 3f+1. *)
+  let p = Analysis.single_clan_failure ~n:10 ~f:3 ~nc:10 in
+  Alcotest.(check bool) "whole tribe never dishonest-majority" true (Rat.is_zero p)
+
+let test_single_clan_certain_failure () =
+  (* Clan of 1 drawn from a tribe with f Byzantine: failure prob = f/n. *)
+  let p = Analysis.single_clan_failure ~n:10 ~f:3 ~nc:1 in
+  Alcotest.(check bool) "f/n" true (Rat.equal p (Rat.of_ints 3 10))
+
+let test_single_clan_paper_n500 () =
+  (* §1 quotes nc=184 at n=500, f=166 for failure below 1e-9. Under the
+     exact Eq. 1 tail (ties count as dishonest) the even size 184 sits just
+     above 1e-9 while the odd 183 is below — adding a member to an odd clan
+     only helps the adversary reach a tie. Pin both facts. *)
+  let threshold = Rat.of_ints 1 1_000_000_000 in
+  let p183 = Analysis.single_clan_failure ~n:500 ~f:166 ~nc:183 in
+  let p184 = Analysis.single_clan_failure ~n:500 ~f:166 ~nc:184 in
+  Alcotest.(check bool) "183 below 1e-9" true (Rat.compare p183 threshold <= 0);
+  Alcotest.(check bool) "even parity penalty" true (Rat.compare p184 p183 > 0)
+
+let test_min_clan_size_n500 () =
+  (* Our exact Eq. 1 evaluation gives 183 as the true minimum at 1e-9 (the
+     paper's Fig. 1 rounds up to 184; see EXPERIMENTS.md). *)
+  let threshold = Rat.of_ints 1 1_000_000_000 in
+  Alcotest.(check (option int)) "minimum" (Some 183)
+    (Analysis.min_clan_size ~n:500 ~f:166 ~threshold ())
+
+let test_min_clan_sizes_paper_operational () =
+  (* §7 runs clans of 32/60/80 at n=50/100/150 with 1e-6; our exact minima
+     must be consistent (<= paper sizes + small slack, and the paper sizes
+     must satisfy the threshold at n=50..100). *)
+  let threshold = Rat.of_ints 1 1_000_000 in
+  List.iter
+    (fun (n, expected_min) ->
+      let f = Analysis.default_f n in
+      Alcotest.(check (option int))
+        (Printf.sprintf "n=%d" n)
+        (Some expected_min)
+        (Analysis.min_clan_size ~n ~f ~threshold ()))
+    [ (50, 33); (100, 61); (150, 77) ]
+
+let test_failure_monotone_in_nc () =
+  let f = Analysis.default_f 100 in
+  let prev = ref Rat.one in
+  (* Compare odd sizes only: parity wiggles break strict monotonicity. *)
+  List.iter
+    (fun nc ->
+      let p = Analysis.single_clan_failure ~n:100 ~f ~nc in
+      Alcotest.(check bool) (Printf.sprintf "nc=%d decreases" nc) true
+        (Rat.compare p !prev <= 0);
+      prev := p)
+    [ 11; 21; 31; 41; 51; 61 ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-clan analysis (§6.2) *)
+
+let approx_sci p = Rat.to_float p
+
+let test_multi_clan_concrete_150 () =
+  (* §6.2: n=150, two clans of 75 -> 4.015e-6. *)
+  let p = Analysis.multi_clan_failure ~n:150 ~f:(Analysis.default_f 150) ~q:2 ~nc:75 in
+  Alcotest.(check bool) "4.015e-6" true (abs_float (approx_sci p -. 4.015e-6) < 0.01e-6)
+
+let test_multi_clan_concrete_387 () =
+  (* §6.2: n=387, three clans of 129 -> 1.11e-6. *)
+  let p = Analysis.multi_clan_failure ~n:387 ~f:(Analysis.default_f 387) ~q:3 ~nc:129 in
+  Alcotest.(check bool) "1.11e-6" true (abs_float (approx_sci p -. 1.11e-6) < 0.01e-6)
+
+let test_multi_clan_q1_matches_single () =
+  List.iter
+    (fun (n, nc) ->
+      let f = Analysis.default_f n in
+      let a = Analysis.single_clan_failure ~n ~f ~nc in
+      let b = Analysis.multi_clan_failure ~n ~f ~q:1 ~nc in
+      Alcotest.(check bool) (Printf.sprintf "n=%d nc=%d" n nc) true (Rat.equal a b))
+    [ (40, 11); (40, 25); (100, 40); (64, 32) ]
+
+let test_multi_clan_more_clans_riskier () =
+  (* Splitting the same tribe into more clans can only raise the failure
+     probability (clans shrink). *)
+  let n = 120 in
+  let f = Analysis.default_f n in
+  let p2 = Analysis.multi_clan_failure ~n ~f ~q:2 ~nc:60 in
+  let p3 = Analysis.multi_clan_failure ~n ~f ~q:3 ~nc:40 in
+  Alcotest.(check bool) "3 clans riskier than 2" true (Rat.compare p3 p2 > 0)
+
+let test_multi_clan_monte_carlo () =
+  (* Cross-check the exact Eq. 3-7 counting against empirical sampling of
+     random partitions (which exercises [partition_random] too). n is small
+     so the failure event is frequent enough to estimate. *)
+  let n = 30 and q = 2 and nc = 15 in
+  let f = Analysis.default_f n in
+  let fc = Analysis.max_clan_faults nc in
+  let exact = Rat.to_float (Analysis.multi_clan_failure ~n ~f ~q ~nc) in
+  let rng = Util.Rng.create 123L in
+  let trials = 20_000 in
+  let bad = ref 0 in
+  for _ = 1 to trials do
+    let clans = Analysis.partition_random rng ~n ~q in
+    let dishonest =
+      Array.exists
+        (fun clan ->
+          (* Byzantine parties are ids 0..f-1 (exchangeable under a uniform
+             random partition). *)
+          Array.fold_left (fun acc i -> if i < f then acc + 1 else acc) 0 clan > fc)
+        clans
+    in
+    if dishonest then incr bad
+  done;
+  let freq = float_of_int !bad /. float_of_int trials in
+  let sigma = sqrt (exact *. (1.0 -. exact) /. float_of_int trials) in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.4f within 4 sigma of exact %.4f" freq exact)
+    true
+    (abs_float (freq -. exact) < (4.0 *. sigma) +. 1e-9)
+
+let test_multi_clan_validation () =
+  Alcotest.check_raises "q*nc > n" (Invalid_argument "Analysis: need 0 < q*nc <= n")
+    (fun () -> ignore (Analysis.multi_clan_failure ~n:10 ~f:3 ~q:3 ~nc:4))
+
+let prop_failure_probability_range =
+  QCheck.Test.make ~name:"failure probabilities lie in [0,1]" ~count:100
+    QCheck.(pair (int_range 4 60) (int_range 1 60))
+    (fun (n, nc) ->
+      let nc = min nc n in
+      let f = Analysis.default_f n in
+      let p = Analysis.single_clan_failure ~n ~f ~nc in
+      Rat.compare p Rat.zero >= 0 && Rat.compare p Rat.one <= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Elections *)
+
+let test_elect_balanced () =
+  let clan = Analysis.elect_balanced ~n:50 ~nc:10 in
+  Alcotest.(check int) "size" 10 (Array.length clan);
+  Alcotest.(check int) "first" 0 clan.(0);
+  (* Region-balanced under round-robin placement: all residues mod 5 hit. *)
+  let regions = Array.make 5 0 in
+  Array.iter (fun i -> regions.(i mod 5) <- regions.(i mod 5) + 1) clan;
+  Array.iter (fun c -> Alcotest.(check int) "two per region" 2 c) regions
+
+let test_elect_random_properties () =
+  let rng = Util.Rng.create 5L in
+  let clan = Analysis.elect_random rng ~n:100 ~nc:30 in
+  Alcotest.(check int) "size" 30 (Array.length clan);
+  let sorted = Array.copy clan in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "sorted" sorted clan;
+  let distinct = List.sort_uniq compare (Array.to_list clan) in
+  Alcotest.(check int) "distinct" 30 (List.length distinct);
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 100)) clan
+
+let test_partition_balanced () =
+  let clans = Analysis.partition_balanced ~n:10 ~q:3 in
+  Alcotest.(check int) "q clans" 3 (Array.length clans);
+  let all = Array.to_list clans |> List.concat_map Array.to_list |> List.sort compare in
+  Alcotest.(check (list int)) "exact partition" (List.init 10 (fun i -> i)) all;
+  Alcotest.(check int) "sizes differ by <=1" 4 (Array.length clans.(0));
+  Alcotest.(check int) "clan 2" 3 (Array.length clans.(2))
+
+let test_partition_random () =
+  let rng = Util.Rng.create 9L in
+  let clans = Analysis.partition_random rng ~n:20 ~q:2 in
+  let all = Array.to_list clans |> List.concat_map Array.to_list |> List.sort compare in
+  Alcotest.(check (list int)) "partition" (List.init 20 (fun i -> i)) all;
+  Alcotest.(check int) "balanced" 10 (Array.length clans.(0))
+
+let suites =
+  [
+    ( "committee.binomial",
+      [
+        Alcotest.test_case "small values" `Quick test_binomial_small;
+        Alcotest.test_case "C(100,50)" `Quick test_binomial_large;
+        qtest prop_binomial_pascal;
+        qtest prop_binomial_symmetry;
+      ] );
+    ( "committee.single-clan",
+      [
+        Alcotest.test_case "fault bounds" `Quick test_fault_bounds;
+        Alcotest.test_case "whole-tribe clan" `Quick test_single_clan_degenerate;
+        Alcotest.test_case "clan of one" `Quick test_single_clan_certain_failure;
+        Alcotest.test_case "paper n=500 @1e-9" `Slow test_single_clan_paper_n500;
+        Alcotest.test_case "min size n=500" `Slow test_min_clan_size_n500;
+        Alcotest.test_case "min sizes vs paper (1e-6)" `Slow test_min_clan_sizes_paper_operational;
+        Alcotest.test_case "monotone in nc" `Quick test_failure_monotone_in_nc;
+        qtest prop_failure_probability_range;
+      ] );
+    ( "committee.multi-clan",
+      [
+        Alcotest.test_case "n=150 q=2 -> 4.015e-6" `Quick test_multi_clan_concrete_150;
+        Alcotest.test_case "n=387 q=3 -> 1.11e-6" `Slow test_multi_clan_concrete_387;
+        Alcotest.test_case "q=1 equals hypergeometric" `Quick test_multi_clan_q1_matches_single;
+        Alcotest.test_case "more clans riskier" `Quick test_multi_clan_more_clans_riskier;
+        Alcotest.test_case "Monte-Carlo cross-check" `Slow test_multi_clan_monte_carlo;
+        Alcotest.test_case "validation" `Quick test_multi_clan_validation;
+      ] );
+    ( "committee.election",
+      [
+        Alcotest.test_case "balanced" `Quick test_elect_balanced;
+        Alcotest.test_case "random" `Quick test_elect_random_properties;
+        Alcotest.test_case "partition balanced" `Quick test_partition_balanced;
+        Alcotest.test_case "partition random" `Quick test_partition_random;
+      ] );
+  ]

@@ -1,0 +1,179 @@
+open Clanbft
+open Clanbft.Crypto
+module Store = Dag_store
+
+(* Build verifiable little DAGs by hand. *)
+
+let mk ~round ~source ~strong ~weak =
+  Vertex.make ~round ~source ~block_digest:Digest32.zero
+    ~strong_edges:(Array.of_list (List.map Vertex.ref_of strong))
+    ~weak_edges:(Array.of_list (List.map Vertex.ref_of weak))
+    ()
+
+(* A 3-round, 4-node DAG:
+   round 0: v00 v01 v02 v03
+   round 1: v1s reference {v00,v01,v02} (v03 is left orphaned)
+   round 2: v2s reference all of round 1; v20 additionally weak-links v03. *)
+let build_world () =
+  let s = Store.create ~n:4 in
+  let r0 = List.init 4 (fun i -> mk ~round:0 ~source:i ~strong:[] ~weak:[]) in
+  List.iter (Store.add s) r0;
+  let base = List.filteri (fun i _ -> i < 3) r0 in
+  let r1 = List.init 4 (fun i -> mk ~round:1 ~source:i ~strong:base ~weak:[]) in
+  List.iter (Store.add s) r1;
+  let v03 = List.nth r0 3 in
+  let r2 =
+    List.init 4 (fun i ->
+        mk ~round:2 ~source:i ~strong:r1 ~weak:(if i = 0 then [ v03 ] else []))
+  in
+  List.iter (Store.add s) r2;
+  (s, r0, r1, r2)
+
+let test_add_find () =
+  let s, r0, _, _ = build_world () in
+  Alcotest.(check bool) "mem" true (Store.mem s ~round:0 ~source:2);
+  Alcotest.(check bool) "not mem" false (Store.mem s ~round:3 ~source:0);
+  Alcotest.(check int) "count round 0" 4 (Store.count_at s 0);
+  Alcotest.(check int) "size" 12 (Store.size s);
+  Alcotest.(check int) "highest" 2 (Store.highest_round s);
+  let v = Option.get (Store.find s ~round:0 ~source:1) in
+  Alcotest.(check bool) "find returns the vertex" true
+    (Digest32.equal v.Vertex.digest (List.nth r0 1).Vertex.digest)
+
+let test_add_idempotent () =
+  let s, r0, _, _ = build_world () in
+  Store.add s (List.hd r0);
+  Alcotest.(check int) "size unchanged" 12 (Store.size s)
+
+let test_add_conflict_rejected () =
+  let s = Store.create ~n:4 in
+  Store.add s (mk ~round:0 ~source:0 ~strong:[] ~weak:[]);
+  let conflicting =
+    Vertex.make ~round:0 ~source:0 ~block_digest:(Digest32.hash_string "other")
+      ~strong_edges:[||] ~weak_edges:[||] ()
+  in
+  Alcotest.check_raises "conflict"
+    (Invalid_argument "Store.add: conflicting vertex for an occupied slot")
+    (fun () -> Store.add s conflicting)
+
+let test_add_missing_parent_rejected () =
+  let s = Store.create ~n:4 in
+  let parent = mk ~round:0 ~source:0 ~strong:[] ~weak:[] in
+  let child = mk ~round:1 ~source:0 ~strong:[ parent ] ~weak:[] in
+  Alcotest.check_raises "missing parent" (Invalid_argument "Store.add: parent missing")
+    (fun () -> Store.add s child);
+  Alcotest.(check int) "missing parents listed" 1
+    (List.length (Store.missing_parents s child));
+  Store.add s parent;
+  Store.add s child;
+  Alcotest.(check int) "insertable after parent" 2 (Store.size s)
+
+let test_find_ref_digest_check () =
+  let s, r0, _, _ = build_world () in
+  let v = List.hd r0 in
+  Alcotest.(check bool) "matching ref" true (Store.find_ref s (Vertex.ref_of v) <> None);
+  let bogus = { (Vertex.ref_of v) with digest = Digest32.hash_string "bogus" } in
+  Alcotest.(check bool) "digest mismatch" true (Store.find_ref s bogus = None)
+
+let test_vertices_at_sorted () =
+  let s, _, _, _ = build_world () in
+  let sources = List.map (fun (v : Vertex.t) -> v.source) (Store.vertices_at s 1) in
+  Alcotest.(check (list int)) "ascending sources" [ 0; 1; 2; 3 ] sources
+
+let test_strong_path () =
+  let s, r0, r1, r2 = build_world () in
+  let v20 = List.hd r2 in
+  Alcotest.(check bool) "reflexive" true (Store.strong_path s v20 ~round:2 ~source:0);
+  Alcotest.(check bool) "one hop" true (Store.strong_path s v20 ~round:1 ~source:3);
+  Alcotest.(check bool) "two hops" true (Store.strong_path s v20 ~round:0 ~source:2);
+  (* v03 is only reachable through v20's weak edge — not a strong path. *)
+  Alcotest.(check bool) "weak edges don't count" false
+    (Store.strong_path s v20 ~round:0 ~source:3);
+  Alcotest.(check bool) "no forward paths" false
+    (Store.strong_path s (List.hd r1) ~round:2 ~source:0);
+  ignore r0
+
+let test_causal_history_complete () =
+  let s, _, _, r2 = build_world () in
+  let v20 = List.hd r2 in
+  let history = Store.causal_history s v20 ~skip:(fun ~round:_ ~source:_ -> false) in
+  (* v20 reaches everything except the other round-2 vertices. *)
+  Alcotest.(check int) "size" 9 (List.length history);
+  (* deterministic ascending (round, source) order *)
+  let ids = List.map (fun (v : Vertex.t) -> (v.round, v.source)) history in
+  Alcotest.(check (list (pair int int))) "order"
+    [ (0, 0); (0, 1); (0, 2); (0, 3); (1, 0); (1, 1); (1, 2); (1, 3); (2, 0) ]
+    ids
+
+let test_causal_history_skip () =
+  let s, _, _, r2 = build_world () in
+  let v20 = List.hd r2 in
+  (* Skipping round 0 sources 0-2 (as "already ordered") also prunes
+     traversal below them. *)
+  let history =
+    Store.causal_history s v20 ~skip:(fun ~round ~source -> round = 0 && source < 3)
+  in
+  Alcotest.(check int) "smaller" 6 (List.length history)
+
+let test_causal_history_weak_edges_included () =
+  let s, _, _, r2 = build_world () in
+  let v21 = List.nth r2 1 in
+  (* v21 has no weak edge to v03 and no strong path: v03 absent. *)
+  let history = Store.causal_history s v21 ~skip:(fun ~round:_ ~source:_ -> false) in
+  Alcotest.(check bool) "v03 not reachable" true
+    (not (List.exists (fun (v : Vertex.t) -> v.round = 0 && v.source = 3) history));
+  (* v20 (with the weak edge) reaches it. *)
+  let history0 = Store.causal_history s (List.hd r2) ~skip:(fun ~round:_ ~source:_ -> false) in
+  Alcotest.(check bool) "v03 via weak edge" true
+    (List.exists (fun (v : Vertex.t) -> v.round = 0 && v.source = 3) history0)
+
+let test_prune () =
+  let s, _, _, _ = build_world () in
+  Store.prune_below s ~round:1;
+  Alcotest.(check int) "round 0 gone" 0 (Store.count_at s 0);
+  Alcotest.(check int) "size" 8 (Store.size s);
+  Alcotest.(check bool) "find below floor" true (Store.find s ~round:0 ~source:0 = None);
+  (* A vertex referencing pruned parents is insertable: refs below the
+     floor count as satisfied. *)
+  let ghost_parent = mk ~round:0 ~source:0 ~strong:[] ~weak:[] in
+  let late = mk ~round:1 ~source:0 ~strong:[ ghost_parent ] ~weak:[] in
+  Alcotest.(check int) "no missing parents below floor" 0
+    (List.length (Store.missing_parents s late))
+
+let test_determinism_across_insertion_orders () =
+  (* The causal history must not depend on insertion order. *)
+  let build order =
+    let s = Store.create ~n:3 in
+    let r0 = List.init 3 (fun i -> mk ~round:0 ~source:i ~strong:[] ~weak:[]) in
+    let r1 = List.init 3 (fun i -> mk ~round:1 ~source:i ~strong:r0 ~weak:[]) in
+    let tip = mk ~round:2 ~source:0 ~strong:r1 ~weak:[] in
+    List.iter (Store.add s) (order r0);
+    List.iter (Store.add s) (order r1);
+    Store.add s tip;
+    List.map
+      (fun (v : Vertex.t) -> (v.round, v.source))
+      (Store.causal_history s tip ~skip:(fun ~round:_ ~source:_ -> false))
+  in
+  Alcotest.(check (list (pair int int)))
+    "same history" (build (fun l -> l))
+    (build List.rev)
+
+let suites =
+  [
+    ( "dag.store",
+      [
+        Alcotest.test_case "add/find" `Quick test_add_find;
+        Alcotest.test_case "idempotent add" `Quick test_add_idempotent;
+        Alcotest.test_case "conflict rejected" `Quick test_add_conflict_rejected;
+        Alcotest.test_case "missing parent rejected" `Quick test_add_missing_parent_rejected;
+        Alcotest.test_case "find_ref digest check" `Quick test_find_ref_digest_check;
+        Alcotest.test_case "vertices_at sorted" `Quick test_vertices_at_sorted;
+        Alcotest.test_case "strong paths" `Quick test_strong_path;
+        Alcotest.test_case "causal history" `Quick test_causal_history_complete;
+        Alcotest.test_case "history skip" `Quick test_causal_history_skip;
+        Alcotest.test_case "weak edges in history" `Quick test_causal_history_weak_edges_included;
+        Alcotest.test_case "prune" `Quick test_prune;
+        Alcotest.test_case "insertion-order independence" `Quick
+          test_determinism_across_insertion_orders;
+      ] );
+  ]

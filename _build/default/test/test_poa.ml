@@ -1,0 +1,96 @@
+open Clanbft
+open Clanbft.Sim
+
+(* The PoA-then-order straw-man (§1) and Arete-style (§8) pipelines. *)
+
+let run_world ?(n = 7) ?(payloads = 20) params =
+  let topology = Topology.uniform ~n ~one_way_ms:20.0 in
+  let world =
+    Poa_smr.create ~n
+      ~clan:(Array.init 4 (fun i -> i))
+      ~params:{ params with Poa_smr.batch_interval = Time.ms 40. }
+      ~topology
+      ~net_config:{ Net.default_config with jitter = 0.0 }
+      ~seed:3L ~payload_bytes:512 ()
+  in
+  let engine = Poa_smr.engine world in
+  for i = 0 to payloads - 1 do
+    Engine.schedule_at engine (Time.ms (float_of_int (30 * i))) (fun () ->
+        Poa_smr.submit_payload world ~proposer:(i mod n))
+  done;
+  Engine.run ~until:(Time.s 10.) engine;
+  world
+
+let test_strawman_commits_everything () =
+  let w = run_world Poa_smr.strawman in
+  Alcotest.(check int) "all payloads committed" 20 (Poa_smr.committed w);
+  Alcotest.(check bool) "latency positive" true (Poa_smr.mean_commit_latency_ms w > 0.0)
+
+let test_arete_commits_everything () =
+  let w = run_world Poa_smr.arete in
+  Alcotest.(check int) "all payloads committed" 20 (Poa_smr.committed w)
+
+let test_depth_ordering () =
+  (* Deeper commit paths cost more latency: straw-man (3 hops) < Arete
+     (5 hops); both are measurably above the dissemination floor of 3δ
+     (payload + ack + PoA-to-leader). *)
+  let s = run_world Poa_smr.strawman in
+  let a = run_world Poa_smr.arete in
+  let ls = Poa_smr.mean_commit_latency_ms s in
+  let la = Poa_smr.mean_commit_latency_ms a in
+  Alcotest.(check bool)
+    (Printf.sprintf "strawman (%.1f) < arete (%.1f)" ls la)
+    true (ls < la);
+  (* 2 extra hops at 20 ms one-way = +40 ms *)
+  Alcotest.(check bool) "gap is about two hops" true
+    (la -. ls > 30.0 && la -. ls < 60.0);
+  Alcotest.(check bool) "above the 6-delta floor minus batching slack" true
+    (ls > 5.0 *. 20.0)
+
+let test_beats_nothing_without_quorum () =
+  (* With fewer than 2f+1 live parties the SMR path cannot commit: drive a
+     world where only the clan ever participates by crashing the rest via a
+     filter — here simulated by submitting but never letting hops through.
+     Simpler check: depth must be >= 2. *)
+  Alcotest.check_raises "depth >= 2" (Invalid_argument "Poa_smr: depth must be >= 2")
+    (fun () ->
+      ignore
+        (Poa_smr.create ~n:4
+           ~params:{ Poa_smr.commit_depth = 1; batch_interval = Time.ms 50. }
+           ~topology:(Topology.uniform ~n:4 ~one_way_ms:1.0)
+           ~net_config:Net.default_config ~seed:1L ~payload_bytes:10 ()))
+
+let test_dag_beats_poa_architecture () =
+  (* The paper's headline latency claim, measured: pipelined DAG commit
+     beats the sequential PoA-then-order design under identical network
+     conditions. *)
+  let delta_ms = 20.0 in
+  let dag =
+    Runner.run
+      {
+        Runner.default_spec with
+        n = 7;
+        topology = `Uniform delta_ms;
+        txns_per_proposal = 5;
+        duration = Time.s 8.;
+        warmup = Time.s 2.;
+      }
+  in
+  let poa = run_world ~payloads:40 Poa_smr.strawman in
+  Alcotest.(check bool)
+    (Printf.sprintf "sailfish (%.1f ms) < strawman (%.1f ms)" dag.latency_mean_ms
+       (Poa_smr.mean_commit_latency_ms poa))
+    true
+    (dag.latency_mean_ms < Poa_smr.mean_commit_latency_ms poa)
+
+let suites =
+  [
+    ( "poa-smr",
+      [
+        Alcotest.test_case "strawman commits all" `Quick test_strawman_commits_everything;
+        Alcotest.test_case "arete commits all" `Quick test_arete_commits_everything;
+        Alcotest.test_case "latency grows with depth" `Quick test_depth_ordering;
+        Alcotest.test_case "depth validation" `Quick test_beats_nothing_without_quorum;
+        Alcotest.test_case "DAG beats PoA architecture" `Slow test_dag_beats_poa_architecture;
+      ] );
+  ]

@@ -1,0 +1,253 @@
+open Clanbft
+open Clanbft.Sim
+open Clanbft.Crypto
+module Rng = Util.Rng
+
+(* Harness: n nodes over a uniform 10 ms network; [byzantine] ids get a
+   no-op handler so tests can drive them by injecting raw messages. *)
+type world = {
+  engine : Engine.t;
+  net : Rbc.msg Net.t;
+  nodes : Rbc.node option array;
+  deliveries : (int * int * int * int * Rbc.outcome) list ref;
+      (* (time, node, sender, round, outcome) *)
+}
+
+let clan = [| 0; 2; 4; 6; 8 |]
+
+let make_world ?(n = 10) ?(byzantine = []) protocol =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~one_way_ms:10.0 in
+  let config = { Net.default_config with jitter = 0.0 } in
+  let net =
+    Net.create ~engine ~topology ~config ~size:(Rbc.msg_size ~n)
+      ~rng:(Rng.create 7L) ()
+  in
+  let keychain = Keychain.create ~seed:11L ~n in
+  let deliveries = ref [] in
+  let nodes =
+    Array.init n (fun me ->
+        if List.mem me byzantine then begin
+          Net.set_handler net me (fun ~src:_ _ -> ());
+          None
+        end
+        else
+          Some
+            (Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
+               ~on_deliver:(fun ~sender ~round outcome ->
+                 deliveries :=
+                   (Engine.now engine, me, sender, round, outcome) :: !deliveries)
+               ()))
+  in
+  { engine; net; nodes; deliveries }
+
+let node w i = Option.get w.nodes.(i)
+
+let outcomes w = List.rev_map (fun (_, me, _, _, o) -> (me, o)) !(w.deliveries)
+
+let value_deliveries w =
+  List.filter (fun (_, o) -> match o with Rbc.Value _ -> true | _ -> false) (outcomes w)
+
+let digest_deliveries w =
+  List.filter (fun (_, o) -> match o with Rbc.Digest_only _ -> true | _ -> false) (outcomes w)
+
+let in_clan i = Array.exists (fun c -> c = i) clan
+
+(* ------------------------------------------------------------------ *)
+(* Honest sender, each protocol *)
+
+let test_honest_delivery protocol () =
+  let w = make_world protocol in
+  Rbc.broadcast (node w 0) ~round:1 "payload-abc";
+  Engine.run w.engine;
+  Alcotest.(check int) "all deliver" 10 (List.length (outcomes w));
+  let expect_values = if List.mem protocol Rbc.[ Bracha; Signed_two_round ] then 10 else 5 in
+  Alcotest.(check int) "value deliveries" expect_values (List.length (value_deliveries w));
+  Alcotest.(check int) "digest deliveries" (10 - expect_values)
+    (List.length (digest_deliveries w));
+  (* value receivers see the exact payload; digest receivers its hash *)
+  List.iter
+    (fun (_, me, _, _, o) ->
+      match o with
+      | Rbc.Value v -> Alcotest.(check string) (Printf.sprintf "node %d" me) "payload-abc" v
+      | Rbc.Digest_only d ->
+          Alcotest.(check bool) "digest matches" true
+            (Digest32.equal d (Digest32.hash_string "payload-abc")))
+    !(w.deliveries)
+
+let test_tribe_outcome_split protocol () =
+  let w = make_world protocol in
+  Rbc.broadcast (node w 2) ~round:3 "xyz";
+  Engine.run w.engine;
+  List.iter
+    (fun (_, me, _, _, o) ->
+      match o with
+      | Rbc.Value _ ->
+          Alcotest.(check bool) (Printf.sprintf "value only in clan (%d)" me) true (in_clan me)
+      | Rbc.Digest_only _ ->
+          Alcotest.(check bool) (Printf.sprintf "digest only outside (%d)" me) true
+            (not (in_clan me)))
+    !(w.deliveries)
+
+let test_multiple_rounds protocol () =
+  let w = make_world protocol in
+  Rbc.broadcast (node w 0) ~round:1 "r1";
+  Rbc.broadcast (node w 0) ~round:2 "r2";
+  Rbc.broadcast (node w 4) ~round:1 "other-sender";
+  Engine.run w.engine;
+  Alcotest.(check int) "3 instances x 10 nodes" 30 (List.length (outcomes w));
+  Alcotest.(check (option string)) "delivered query" (Some "r2")
+    (match Rbc.delivered (node w 2) ~sender:0 ~round:2 with
+    | Some (Rbc.Value v) -> Some v
+    | _ -> None)
+
+let test_double_broadcast_rejected protocol () =
+  let w = make_world protocol in
+  Rbc.broadcast (node w 0) ~round:1 "a";
+  Alcotest.check_raises "double broadcast" (Invalid_argument "Rbc.broadcast: already broadcast")
+    (fun () -> Rbc.broadcast (node w 0) ~round:1 "b")
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine behaviours *)
+
+(* Equivocation: the Byzantine sender (node 0) sends value "A" to half the
+   parties and "B" to the rest. Agreement requires that honest parties never
+   deliver conflicting values. *)
+let test_equivocation_no_disagreement protocol () =
+  let w = make_world ~byzantine:[ 0 ] protocol in
+  let send_val dst value =
+    Net.send w.net ~src:0 ~dst (Rbc.Val { sender = 0; round = 1; value })
+  in
+  for dst = 1 to 9 do
+    send_val dst (if dst mod 2 = 0 then "AAAA" else "BBBB")
+  done;
+  Engine.run ~until:(Time.s 30.) w.engine;
+  (* With a split 4/5 neither value can gather 2f+1=7 echoes: nothing
+     delivers. The key safety check: no two honest parties deliver
+     different values. *)
+  let values =
+    List.filter_map
+      (fun (_, _, _, _, o) ->
+        match o with
+        | Rbc.Value v -> Some v
+        | Rbc.Digest_only d -> Some (Digest32.to_raw d))
+      !(w.deliveries)
+  in
+  let distinct = List.sort_uniq compare values in
+  Alcotest.(check bool) "at most one outcome value" true (List.length distinct <= 1)
+
+(* A Byzantine sender that only sends VAL to the clan minority but whose
+   ECHOes still reach quorum: parties that lack the value pull it. *)
+let test_pull_path protocol () =
+  let w = make_world ~byzantine:[ 0 ] protocol in
+  let value = "pull-me" in
+  let digest = Digest32.hash_string value in
+  (* VAL only to fc+1 = 3 clan members; digest to the outsiders; clan
+     member 8 gets nothing at all. Echo quorum still forms (3 clan + 5
+     outsiders >= 2f+1 with >= fc+1 from the clan). *)
+  List.iter
+    (fun dst -> Net.send w.net ~src:0 ~dst (Rbc.Val { sender = 0; round = 1; value }))
+    [ 2; 4; 6 ];
+  List.iter
+    (fun dst ->
+      Net.send w.net ~src:0 ~dst (Rbc.Val_digest { sender = 0; round = 1; digest }))
+    [ 1; 3; 5; 7; 9 ];
+  Engine.run ~until:(Time.s 30.) w.engine;
+  (* Clan member 8 never received anything from the sender; it must pull
+     the value from another clan member and still deliver it. *)
+  List.iter
+    (fun me ->
+      match Rbc.delivered (node w me) ~sender:0 ~round:1 with
+      | Some (Rbc.Value v) -> Alcotest.(check string) (Printf.sprintf "node %d" me) value v
+      | _ -> Alcotest.failf "clan node %d failed to deliver the value" me)
+    [ 2; 4; 6; 8 ];
+  (* Outsiders deliver the digest. *)
+  (match Rbc.delivered (node w 1) ~sender:0 ~round:1 with
+  | Some (Rbc.Digest_only d) -> Alcotest.(check bool) "digest" true (Digest32.equal d digest)
+  | _ -> Alcotest.fail "outsider should deliver digest")
+
+let test_silent_sender protocol () =
+  let w = make_world ~byzantine:[ 0 ] protocol in
+  (* Sender does nothing at all. *)
+  Engine.run ~until:(Time.s 5.) w.engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length (outcomes w))
+
+let test_crash_faults protocol () =
+  (* f = 3 silent parties (non-senders): delivery must still complete. *)
+  let w = make_world ~byzantine:[ 1; 3; 9 ] protocol in
+  Rbc.broadcast (node w 0) ~round:1 "resilient";
+  Engine.run ~until:(Time.s 30.) w.engine;
+  Alcotest.(check int) "7 honest deliver" 7 (List.length (outcomes w))
+
+let test_forged_echo_ignored () =
+  (* Signed protocol: echoes with invalid signatures must not count. *)
+  let w = make_world ~byzantine:[ 1 ] Rbc.Tribe_signed in
+  let digest = Digest32.hash_string "nonexistent" in
+  (* Byzantine node 1 spams forged echoes for a value nobody proposed. *)
+  for signer = 0 to 9 do
+    ignore signer;
+    Net.broadcast w.net ~src:1
+      (Rbc.Echo { sender = 5; round = 1; digest; signer = 1; signature = None })
+  done;
+  Engine.run ~until:(Time.s 5.) w.engine;
+  Alcotest.(check int) "no deliveries from forged echoes" 0 (List.length (outcomes w))
+
+let test_rate_limited_pulls () =
+  let w = make_world Rbc.Tribe_signed in
+  Rbc.broadcast (node w 0) ~round:1 "limited";
+  Engine.run w.engine;
+  let before = Net.total_messages w.net in
+  (* A greedy peer hammers node 0 with pull requests; the budget (8) caps
+     replies. *)
+  for _ = 1 to 50 do
+    Net.send w.net ~src:3 ~dst:0 (Rbc.Pull_request { sender = 0; round = 1 })
+  done;
+  Engine.run w.engine;
+  let extra = Net.total_messages w.net - before in
+  (* 50 requests + at most 8 replies *)
+  Alcotest.(check bool) "replies capped" true (extra <= 58)
+
+(* Latency comparison: the 2-round protocol must beat the 3-round one. *)
+let test_two_rounds_faster () =
+  let last_delivery protocol =
+    let w = make_world protocol in
+    Rbc.broadcast (node w 0) ~round:1 "latency";
+    Engine.run w.engine;
+    List.fold_left (fun acc (time, _, _, _, _) -> max acc time) 0 !(w.deliveries)
+  in
+  let bracha = last_delivery Rbc.Tribe_bracha in
+  let signed = last_delivery Rbc.Tribe_signed in
+  Alcotest.(check bool)
+    (Printf.sprintf "2-round (%d) faster than 3-round (%d)" signed bracha)
+    true (signed < bracha)
+
+let protocol_cases name protocol =
+  [
+    Alcotest.test_case (name ^ ": honest delivery") `Quick (test_honest_delivery protocol);
+    Alcotest.test_case (name ^ ": multiple rounds") `Quick (test_multiple_rounds protocol);
+    Alcotest.test_case (name ^ ": double broadcast") `Quick (test_double_broadcast_rejected protocol);
+    Alcotest.test_case (name ^ ": equivocation") `Quick (test_equivocation_no_disagreement protocol);
+    Alcotest.test_case (name ^ ": silent sender") `Quick (test_silent_sender protocol);
+    Alcotest.test_case (name ^ ": crash faults") `Quick (test_crash_faults protocol);
+  ]
+
+let suites =
+  [
+    ("rbc.bracha", protocol_cases "bracha" Rbc.Bracha);
+    ("rbc.signed-2round", protocol_cases "signed" Rbc.Signed_two_round);
+    ( "rbc.tribe-bracha",
+      protocol_cases "tribe-bracha" Rbc.Tribe_bracha
+      @ [
+          Alcotest.test_case "outcome split" `Quick (test_tribe_outcome_split Rbc.Tribe_bracha);
+          Alcotest.test_case "pull path" `Quick (test_pull_path Rbc.Tribe_bracha);
+        ] );
+    ( "rbc.tribe-signed",
+      protocol_cases "tribe-signed" Rbc.Tribe_signed
+      @ [
+          Alcotest.test_case "outcome split" `Quick (test_tribe_outcome_split Rbc.Tribe_signed);
+          Alcotest.test_case "pull path" `Quick (test_pull_path Rbc.Tribe_signed);
+          Alcotest.test_case "forged echoes ignored" `Quick test_forged_echo_ignored;
+          Alcotest.test_case "pull rate limiting" `Quick test_rate_limited_pulls;
+          Alcotest.test_case "2-round faster than 3-round" `Quick test_two_rounds_faster;
+        ] );
+  ]

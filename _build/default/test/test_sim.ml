@@ -1,0 +1,305 @@
+open Clanbft.Sim
+module Rng = Clanbft.Util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms" 1_500 (Time.ms 1.5);
+  Alcotest.(check int) "s" 2_000_000 (Time.s 2.0);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Time.to_ms 1_500);
+  Alcotest.(check (float 1e-9)) "to_s" 2.0 (Time.to_s 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 300 (fun () -> log := 3 :: !log);
+  Engine.schedule_at e 100 (fun () -> log := 1 :: !log);
+  Engine.schedule_at e 200 (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 300 (Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at e 50 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo within a microsecond" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_schedule_now () =
+  (* An event scheduled for the current instant from inside a handler must
+     still run, after already-queued same-instant events. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 10 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule_after e 0 (fun () -> log := "c" :: !log));
+  Engine.schedule_at e 10 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule_at e 100 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> Engine.schedule_at e 50 (fun () -> ()))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule_at e 100 (fun () -> incr ran);
+  Engine.schedule_at e 900 (fun () -> incr ran);
+  Engine.run ~until:500 e;
+  Alcotest.(check int) "only first ran" 1 !ran;
+  Alcotest.(check int) "clock parked at horizon" 500 (Engine.now e);
+  Alcotest.(check int) "second still pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "second runs later" 2 !ran
+
+let test_engine_until_empty_queue () =
+  let e = Engine.create () in
+  Engine.run ~until:12345 e;
+  Alcotest.(check int) "clock advances to horizon" 12345 (Engine.now e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule_at e i (fun () -> incr ran)
+  done;
+  Engine.run ~max_events:4 e;
+  Alcotest.(check int) "budget respected" 4 !ran
+
+let test_engine_far_future () =
+  (* Beyond the calendar ring horizon: exercises the overflow heap. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 20_000_000 (fun () -> log := "far" :: !log);
+  Engine.schedule_at e 60_000_000 (fun () -> log := "farther" :: !log);
+  Engine.schedule_at e 5 (fun () -> log := "near" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "all fire in order" [ "near"; "far"; "farther" ]
+    (List.rev !log);
+  Alcotest.(check int) "clock" 60_000_000 (Engine.now e)
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 100 then Engine.schedule_after e 1_000 tick
+  in
+  Engine.schedule_after e 1_000 tick;
+  Engine.run e;
+  Alcotest.(check int) "all ticks" 100 !count;
+  Alcotest.(check int) "events processed" 100 (Engine.events_processed e)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule_at e 10 (fun () -> ());
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_table1 () =
+  let t = Topology.gcp_table1 ~n:10 in
+  (* node 0 -> us-east1, node 2 -> europe-north1: RTT 114.75ms, one-way half *)
+  Alcotest.(check int) "us-east1 to europe-north1" 57_375 (Topology.one_way t ~src:0 ~dst:2);
+  Alcotest.(check int) "europe-north1 to us-east1" 57_700 (Topology.one_way t ~src:2 ~dst:0);
+  Alcotest.(check string) "region of node 7" "europe-north1" (Topology.region_name t 7);
+  Alcotest.(check int) "loopback region delay" 375 (Topology.one_way t ~src:0 ~dst:5)
+
+let test_topology_uniform () =
+  let t = Topology.uniform ~n:4 ~one_way_ms:25.0 in
+  Alcotest.(check int) "uniform" 25_000 (Topology.one_way t ~src:0 ~dst:3)
+
+let test_topology_validation () =
+  Alcotest.check_raises "bad region" (Invalid_argument "Topology.custom: bad region")
+    (fun () ->
+      ignore
+        (Topology.custom ~n:2 ~region_of:(fun _ -> 5) ~regions:[| "a" |]
+           ~rtt_ms:[| [| 0.1 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Net *)
+
+let mk_net ?(n = 4) ?(config = Net.default_config) () =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~one_way_ms:10.0 in
+  let net =
+    Net.create ~engine ~topology ~config ~size:String.length ~rng:(Rng.create 1L) ()
+  in
+  (engine, net)
+
+let no_jitter = { Net.default_config with jitter = 0.0 }
+
+let test_net_delivery_time () =
+  let engine, net = mk_net ~config:no_jitter () in
+  let arrival = ref (-1) in
+  Net.set_handler net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  Net.set_handler net 0 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  (* 1 byte + 60 overhead at 2 Gbps: serialization < 1µs rounds to 1;
+     one-way 10_000µs. *)
+  Alcotest.(check int) "arrival = ser + latency" 10_001 !arrival
+
+let test_net_serialization_queuing () =
+  (* Two 1 MB messages back-to-back: the second waits for the first to
+     clear the uplink. At 2 Gbps, 1 MB + overhead ~ 4000µs of wire time. *)
+  let engine, net = mk_net ~config:no_jitter () in
+  let arrivals = ref [] in
+  Net.set_handler net 1 (fun ~src:_ _ -> arrivals := Engine.now engine :: !arrivals);
+  Net.set_handler net 0 (fun ~src:_ _ -> ());
+  let payload = String.make 1_000_000 'x' in
+  Net.send net ~src:0 ~dst:1 payload;
+  Net.send net ~src:0 ~dst:1 payload;
+  Engine.run engine;
+  match List.rev !arrivals with
+  | [ first; second ] ->
+      let ser = 4_001 (* (1_000_060 * 8) / 2000 = 4000.24 -> ceil 4001 *) in
+      Alcotest.(check int) "first" (ser + 10_000) first;
+      Alcotest.(check int) "second queues" ((2 * ser) + 10_000) second
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_net_self_send_local () =
+  let engine, net = mk_net ~config:no_jitter () in
+  let arrival = ref (-1) in
+  Net.set_handler net 0 (fun ~src _ ->
+      Alcotest.(check int) "src" 0 src;
+      arrival := Engine.now engine);
+  Net.send net ~src:0 ~dst:0 "x";
+  Engine.run engine;
+  Alcotest.(check int) "loopback delay" no_jitter.local_delivery !arrival
+
+let test_net_jitter_bounded () =
+  let config = { Net.default_config with jitter = 0.1 } in
+  let engine, net = mk_net ~config () in
+  let count = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ ->
+      let t = Engine.now engine in
+      (* one-way 10ms ±10%, plus up to 50µs of uplink queuing *)
+      Alcotest.(check bool) "within jitter" true (t >= 9_000 && t <= 11_052);
+      incr count);
+  Net.set_handler net 0 (fun ~src:_ _ -> ());
+  for _ = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all arrived" 50 !count
+
+let test_net_pre_gst_delays () =
+  let config =
+    { no_jitter with gst = 1_000_000; pre_gst_max_extra = 500_000 }
+  in
+  let engine, net = mk_net ~config () in
+  let late = ref 0 and post = ref [] in
+  Net.set_handler net 1 (fun ~src:_ msg ->
+      if msg = "pre" && Engine.now engine > 10_001 then incr late;
+      if msg = "post" then post := Engine.now engine :: !post);
+  Net.set_handler net 0 (fun ~src:_ _ -> ());
+  for _ = 1 to 30 do
+    Net.send net ~src:0 ~dst:1 "pre"
+  done;
+  Engine.run engine;
+  (* After GST the adversary loses the ability to delay. *)
+  Engine.schedule_at engine 2_000_000 (fun () -> Net.send net ~src:0 ~dst:1 "post");
+  Engine.run engine;
+  Alcotest.(check bool) "some pre-GST messages delayed" true (!late > 0);
+  Alcotest.(check (list int)) "post-GST on time" [ 2_010_001 ] !post
+
+let test_net_filter_drops () =
+  let engine, net = mk_net ~config:no_jitter () in
+  let got = ref 0 in
+  Net.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Net.set_handler net 2 (fun ~src:_ _ -> incr got);
+  Net.set_filter net (fun ~src:_ ~dst _ -> dst <> 1);
+  Net.send net ~src:0 ~dst:1 "x";
+  Net.send net ~src:0 ~dst:2 "x";
+  Engine.run engine;
+  Alcotest.(check int) "only unfiltered" 1 !got
+
+let test_net_metrics () =
+  let engine, net = mk_net ~config:no_jitter () in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 (String.make 40 'x');
+  Engine.run engine;
+  Alcotest.(check int) "bytes include overhead" 100 (Net.bytes_sent net 0);
+  Alcotest.(check int) "received" 100 (Net.bytes_received net 1);
+  Alcotest.(check int) "messages" 1 (Net.messages_sent net 0);
+  Alcotest.(check int) "total" 100 (Net.total_bytes net);
+  Net.reset_metrics net;
+  Alcotest.(check int) "reset" 0 (Net.total_bytes net)
+
+let test_net_broadcast () =
+  let engine, net = mk_net ~config:no_jitter () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.set_handler net i (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Net.broadcast net ~src:2 "x";
+  Engine.run engine;
+  Alcotest.(check (array int)) "everyone got one" [| 1; 1; 1; 1 |] got
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine runs are reproducible" ~count:30
+    QCheck.(list (pair (int_range 0 100_000) small_int))
+    (fun events ->
+      let run () =
+        let e = Engine.create () in
+        let log = ref [] in
+        List.iter
+          (fun (time, tag) -> Engine.schedule_at e time (fun () -> log := tag :: !log))
+          events;
+        Engine.run e;
+        !log
+      in
+      run () = run ())
+
+let suites =
+  [
+    ("sim.time", [ Alcotest.test_case "conversions" `Quick test_time_conversions ]);
+    ( "sim.engine",
+      [
+        Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_same_time;
+        Alcotest.test_case "schedule now" `Quick test_engine_schedule_now;
+        Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+        Alcotest.test_case "until" `Quick test_engine_until;
+        Alcotest.test_case "until empty" `Quick test_engine_until_empty_queue;
+        Alcotest.test_case "max events" `Quick test_engine_max_events;
+        Alcotest.test_case "far future (overflow ring)" `Quick test_engine_far_future;
+        Alcotest.test_case "cascading timers" `Quick test_engine_cascading;
+        Alcotest.test_case "step" `Quick test_engine_step;
+        qtest prop_engine_deterministic;
+      ] );
+    ( "sim.topology",
+      [
+        Alcotest.test_case "gcp table1" `Quick test_topology_table1;
+        Alcotest.test_case "uniform" `Quick test_topology_uniform;
+        Alcotest.test_case "validation" `Quick test_topology_validation;
+      ] );
+    ( "sim.net",
+      [
+        Alcotest.test_case "delivery time" `Quick test_net_delivery_time;
+        Alcotest.test_case "serialization queuing" `Quick test_net_serialization_queuing;
+        Alcotest.test_case "self-send local" `Quick test_net_self_send_local;
+        Alcotest.test_case "jitter bounded" `Quick test_net_jitter_bounded;
+        Alcotest.test_case "pre-GST delays" `Quick test_net_pre_gst_delays;
+        Alcotest.test_case "filter drops" `Quick test_net_filter_drops;
+        Alcotest.test_case "metrics" `Quick test_net_metrics;
+        Alcotest.test_case "broadcast" `Quick test_net_broadcast;
+      ] );
+  ]

@@ -1,0 +1,283 @@
+open Clanbft
+open Clanbft.Crypto
+
+let qtest = QCheck_alcotest.to_alcotest
+let kc = Keychain.create ~seed:123L ~n:16
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_full () =
+  let c = Config.make ~n:10 Config.Full in
+  Alcotest.(check int) "f" 3 (Config.f c);
+  Alcotest.(check int) "quorum" 7 (Config.quorum c);
+  Alcotest.(check int) "weak quorum" 4 (Config.weak_quorum c);
+  Alcotest.(check bool) "everyone proposes" true (Config.is_block_proposer c 9);
+  Alcotest.(check int) "payload clan is the tribe" 10
+    (Array.length (Option.get (Config.payload_clan c ~proposer:0)));
+  Alcotest.(check int) "no clan echo constraint" 0 (Config.clan_echo_threshold c ~proposer:0);
+  Alcotest.(check bool) "everyone executes" true (Config.executes_blocks c 9);
+  Alcotest.(check int) "one clan" 1 (Config.clan_count c)
+
+let test_config_single_clan () =
+  let clan = [| 1; 3; 5; 7; 9 |] in
+  let c = Config.make ~n:10 (Config.Single_clan clan) in
+  Alcotest.(check bool) "clan member proposes" true (Config.is_block_proposer c 3);
+  Alcotest.(check bool) "outsider does not" false (Config.is_block_proposer c 2);
+  Alcotest.(check (list int)) "proposers" [ 1; 3; 5; 7; 9 ] (Config.block_proposers c);
+  (* fc of 5 = 2, so the echo threshold is 3 *)
+  Alcotest.(check int) "echo threshold fc+1" 3 (Config.clan_echo_threshold c ~proposer:1);
+  Alcotest.(check bool) "member stores payload" true (Config.in_payload_clan c ~proposer:1 9);
+  Alcotest.(check bool) "outsider does not store" false (Config.in_payload_clan c ~proposer:1 0);
+  Alcotest.(check bool) "vertex-only proposer has no payload clan" true
+    (Config.payload_clan c ~proposer:2 = None);
+  Alcotest.(check bool) "outsider does not execute" false (Config.executes_blocks c 0);
+  Alcotest.(check (option int)) "clan_of member" (Some 0) (Config.clan_of c 5);
+  Alcotest.(check (option int)) "clan_of outsider" None (Config.clan_of c 0)
+
+let test_config_multi_clan () =
+  let c = Config.make ~n:9 (Config.Multi_clan [| [| 0; 1; 2; 3 |]; [| 4; 5; 6; 7; 8 |] |]) in
+  Alcotest.(check bool) "all propose" true (Config.is_block_proposer c 8);
+  Alcotest.(check int) "clan count" 2 (Config.clan_count c);
+  (* proposer 5's payload goes to clan 1 *)
+  Alcotest.(check bool) "own clan stores" true (Config.in_payload_clan c ~proposer:5 8);
+  Alcotest.(check bool) "other clan does not" false (Config.in_payload_clan c ~proposer:5 0);
+  Alcotest.(check int) "fc+1 of clan of 4" 2 (Config.clan_echo_threshold c ~proposer:0);
+  Alcotest.(check int) "fc+1 of clan of 5" 3 (Config.clan_echo_threshold c ~proposer:4);
+  Alcotest.(check bool) "everyone executes something" true (Config.executes_blocks c 3)
+
+let test_config_leader_rotation () =
+  let c = Config.make ~n:7 Config.Full in
+  Alcotest.(check int) "round 0" 0 (Config.leader_of_round c 0);
+  Alcotest.(check int) "round 8" 1 (Config.leader_of_round c 8)
+
+let test_config_validation () =
+  Alcotest.check_raises "overlapping clans" (Invalid_argument "Config: clans must be disjoint")
+    (fun () ->
+      ignore (Config.make ~n:6 (Config.Multi_clan [| [| 0; 1 |]; [| 1; 2 |] |])));
+  Alcotest.check_raises "member out of range"
+    (Invalid_argument "Config: clan member out of range") (fun () ->
+      ignore (Config.make ~n:4 (Config.Single_clan [| 7 |])));
+  Alcotest.check_raises "empty clan" (Invalid_argument "Config: empty clan") (fun () ->
+      ignore (Config.make ~n:4 (Config.Multi_clan [| [||] |])));
+  Alcotest.check_raises "n < 3f+1" (Invalid_argument "Config: need 0 <= f and n >= 3f+1")
+    (fun () -> ignore (Config.make ~n:6 ~f:2 Config.Full))
+
+(* ------------------------------------------------------------------ *)
+(* Transactions / blocks *)
+
+let mk_txn ?(id = 1) ?(size = 512) () =
+  Transaction.make ~id ~client:2 ~created_at:1_000 ~size ()
+
+let test_txn_wire_size () =
+  Alcotest.(check int) "wire size" (24 + 512) (Transaction.wire_size (mk_txn ()));
+  Alcotest.check_raises "negative size" (Invalid_argument "Transaction.make: negative size")
+    (fun () -> ignore (mk_txn ~size:(-1) ()))
+
+let test_block_digest_binding () =
+  let txns = Array.init 3 (fun i -> mk_txn ~id:i ()) in
+  let b1 = Block.make ~proposer:1 ~round:5 ~txns in
+  let b2 = Block.make ~proposer:2 ~round:5 ~txns in
+  let b3 = Block.make ~proposer:1 ~round:6 ~txns in
+  let b4 = Block.make ~proposer:1 ~round:5 ~txns:(Array.sub txns 0 2) in
+  Alcotest.(check bool) "proposer bound" false (Digest32.equal (Block.digest b1) (Block.digest b2));
+  Alcotest.(check bool) "round bound" false (Digest32.equal (Block.digest b1) (Block.digest b3));
+  Alcotest.(check bool) "content bound" false (Digest32.equal (Block.digest b1) (Block.digest b4));
+  let b1' = Block.make ~proposer:1 ~round:5 ~txns in
+  Alcotest.(check bool) "deterministic" true (Digest32.equal (Block.digest b1) (Block.digest b1'))
+
+let test_block_wire_size () =
+  let b = Block.make ~proposer:1 ~round:5 ~txns:(Array.init 3 (fun i -> mk_txn ~id:i ())) in
+  Alcotest.(check int) "wire" (12 + (3 * 536)) (Block.wire_size b);
+  Alcotest.(check int) "txn count" 3 (Block.txn_count b)
+
+(* ------------------------------------------------------------------ *)
+(* Vertices *)
+
+let vref_of_slot round source : Vertex.vref =
+  { round; source; digest = Digest32.hash_string (Printf.sprintf "%d-%d" round source) }
+
+let test_vertex_edge_validation () =
+  Alcotest.check_raises "strong edge wrong round"
+    (Invalid_argument "Vertex.make: strong edge must target previous round") (fun () ->
+      ignore
+        (Vertex.make ~round:5 ~source:0 ~block_digest:Digest32.zero
+           ~strong_edges:[| vref_of_slot 3 0 |] ~weak_edges:[||] ()));
+  Alcotest.check_raises "weak edge too recent"
+    (Invalid_argument "Vertex.make: weak edge must target round < r-1") (fun () ->
+      ignore
+        (Vertex.make ~round:5 ~source:0 ~block_digest:Digest32.zero ~strong_edges:[||]
+           ~weak_edges:[| vref_of_slot 4 0 |] ()))
+
+let test_vertex_digest_sensitivity () =
+  let v1 =
+    Vertex.make ~round:3 ~source:1 ~block_digest:Digest32.zero
+      ~strong_edges:[| vref_of_slot 2 0 |] ~weak_edges:[||] ()
+  in
+  let v2 =
+    Vertex.make ~round:3 ~source:1 ~block_digest:Digest32.zero
+      ~strong_edges:[| vref_of_slot 2 1 |] ~weak_edges:[||] ()
+  in
+  Alcotest.(check bool) "edges bound into digest" false
+    (Digest32.equal v1.Vertex.digest v2.Vertex.digest)
+
+let test_vertex_strong_edge_query () =
+  let v =
+    Vertex.make ~round:3 ~source:1 ~block_digest:Digest32.zero
+      ~strong_edges:[| vref_of_slot 2 0; vref_of_slot 2 4 |] ~weak_edges:[||] ()
+  in
+  Alcotest.(check bool) "has edge" true (Vertex.has_strong_edge_to v ~round:2 ~source:4);
+  Alcotest.(check bool) "no edge" false (Vertex.has_strong_edge_to v ~round:2 ~source:3);
+  Alcotest.(check bool) "wrong round" false (Vertex.has_strong_edge_to v ~round:1 ~source:0)
+
+let test_vertex_id_order () =
+  Alcotest.(check bool) "round first" true (Vertex.Id.compare (1, 9) (2, 0) < 0);
+  Alcotest.(check bool) "source second" true (Vertex.Id.compare (2, 1) (2, 3) < 0);
+  Alcotest.(check int) "equal" 0 (Vertex.Id.compare (2, 3) (2, 3))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates *)
+
+let shares kind round signers =
+  List.map (fun i -> (i, Keychain.sign kc ~signer:i (Cert.signing_string kind round))) signers
+
+let test_cert_roundtrip () =
+  let c = Option.get (Cert.make kc Cert.Timeout ~round:4 (shares Cert.Timeout 4 [ 0; 1; 2; 3; 4 ])) in
+  Alcotest.(check bool) "verifies at quorum 5" true (Cert.verify kc ~quorum:5 c);
+  Alcotest.(check bool) "fails at quorum 6" false (Cert.verify kc ~quorum:6 c);
+  Alcotest.(check int) "signer count" 5 (Cert.signer_count c)
+
+let test_cert_wrong_round_shares () =
+  (* Shares for round 3 aggregated into a round-4 certificate don't verify. *)
+  let c = Option.get (Cert.make kc Cert.Timeout ~round:4 (shares Cert.Timeout 3 [ 0; 1; 2 ])) in
+  Alcotest.(check bool) "invalid" false (Cert.verify kc ~quorum:3 c)
+
+let test_cert_kind_separation () =
+  (* No-vote shares cannot stand in for timeout shares. *)
+  let c = Option.get (Cert.make kc Cert.Timeout ~round:4 (shares Cert.No_vote 4 [ 0; 1; 2 ])) in
+  Alcotest.(check bool) "invalid" false (Cert.verify kc ~quorum:3 c)
+
+(* ------------------------------------------------------------------ *)
+(* Messages and codec *)
+
+let sample_block = Block.make ~proposer:2 ~round:3 ~txns:(Array.init 4 (fun i -> mk_txn ~id:i ()))
+
+let sample_vertex ?(nvc = false) ?(tc = false) () =
+  let nvc =
+    if nvc then Some (Option.get (Cert.make kc Cert.No_vote ~round:2 (shares Cert.No_vote 2 [ 0; 1; 2 ])))
+    else None
+  in
+  let tc =
+    if tc then Some (Option.get (Cert.make kc Cert.Timeout ~round:2 (shares Cert.Timeout 2 [ 3; 4; 5 ])))
+    else None
+  in
+  Vertex.make ~round:3 ~source:2 ~block_digest:(Block.digest sample_block)
+    ~strong_edges:[| vref_of_slot 2 0; vref_of_slot 2 1 |]
+    ~weak_edges:[| vref_of_slot 1 5 |] ?nvc ?tc ()
+
+let sample_msgs () =
+  let v = sample_vertex ~nvc:true ~tc:true () in
+  let sg = Keychain.sign kc ~signer:2 "sig" in
+  let agg = Option.get (Keychain.aggregate kc ~msg:"m" [ (0, Keychain.sign kc ~signer:0 "m") ]) in
+  [
+    Msg.Val { vertex = v; block = Some sample_block; signature = sg };
+    Msg.Val { vertex = sample_vertex (); block = None; signature = sg };
+    Msg.Echo { round = 3; source = 2; vertex_digest = v.Vertex.digest; signer = 1; signature = sg };
+    Msg.Echo_cert { round = 3; source = 2; vertex_digest = v.Vertex.digest; agg; clan_echoes = 5 };
+    Msg.Timeout_share { round = 9; signer = 4; signature = sg };
+    Msg.No_vote_share { round = 9; signer = 4; signature = sg };
+    Msg.Timeout_cert (Option.get (Cert.make kc Cert.Timeout ~round:7 (shares Cert.Timeout 7 [ 0; 1; 2 ])));
+    Msg.Block_request { round = 3; source = 2 };
+    Msg.Block_reply { block = sample_block };
+    Msg.Vertex_request { round = 3; source = 2 };
+    Msg.Vertex_reply { vertex = v; block = Some sample_block };
+  ]
+
+let test_wire_size_matches_codec () =
+  List.iter
+    (fun m ->
+      Alcotest.(check int) (Msg.tag m) (Msg.wire_size ~n:16 m)
+        (String.length (Codec.encode ~n:16 m)))
+    (sample_msgs ())
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun m ->
+      let enc = Codec.encode ~n:16 m in
+      let dec = Codec.decode ~n:16 enc in
+      Alcotest.(check string) (Msg.tag m) enc (Codec.encode ~n:16 dec))
+    (sample_msgs ())
+
+let test_codec_rejects_garbage () =
+  Alcotest.(check bool) "bad tag raises" true
+    (match Codec.decode ~n:16 "\xff" with
+    | exception Codec.Decode_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "truncated raises" true
+    (match Codec.decode ~n:16 (String.sub (Codec.encode ~n:16 (List.hd (sample_msgs ()))) 0 10) with
+    | exception Codec.Decode_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "trailing bytes raise" true
+    (match Codec.decode ~n:16 (Codec.encode ~n:16 (Msg.Block_request { round = 1; source = 2 }) ^ "x") with
+    | exception Codec.Decode_error _ -> true
+    | _ -> false)
+
+let test_vertex_block_codec_roundtrip () =
+  let v = sample_vertex ~tc:true () in
+  let v' = Codec.decode_vertex ~n:16 (Codec.encode_vertex ~n:16 v) in
+  Alcotest.(check bool) "vertex digest preserved" true (Digest32.equal v.Vertex.digest v'.Vertex.digest);
+  let b' = Codec.decode_block (Codec.encode_block sample_block) in
+  Alcotest.(check bool) "block digest preserved" true
+    (Digest32.equal (Block.digest sample_block) (Block.digest b'))
+
+let prop_codec_block_roundtrip =
+  QCheck.Test.make ~name:"random blocks round-trip" ~count:100
+    QCheck.(pair (int_range 0 15) (list_of_size (QCheck.Gen.int_range 0 20) (int_range 0 2048)))
+    (fun (proposer, sizes) ->
+      let txns =
+        Array.of_list
+          (List.mapi (fun i size -> Transaction.make ~id:i ~client:proposer ~created_at:i ~size ()) sizes)
+      in
+      let b = Block.make ~proposer ~round:1 ~txns in
+      let b' = Codec.decode_block (Codec.encode_block b) in
+      Digest32.equal (Block.digest b) (Block.digest b')
+      && Block.wire_size b = String.length (Codec.encode_block b))
+
+let suites =
+  [
+    ( "types.config",
+      [
+        Alcotest.test_case "full mode" `Quick test_config_full;
+        Alcotest.test_case "single clan" `Quick test_config_single_clan;
+        Alcotest.test_case "multi clan" `Quick test_config_multi_clan;
+        Alcotest.test_case "leader rotation" `Quick test_config_leader_rotation;
+        Alcotest.test_case "validation" `Quick test_config_validation;
+      ] );
+    ( "types.block",
+      [
+        Alcotest.test_case "txn wire size" `Quick test_txn_wire_size;
+        Alcotest.test_case "digest binding" `Quick test_block_digest_binding;
+        Alcotest.test_case "block wire size" `Quick test_block_wire_size;
+      ] );
+    ( "types.vertex",
+      [
+        Alcotest.test_case "edge validation" `Quick test_vertex_edge_validation;
+        Alcotest.test_case "digest sensitivity" `Quick test_vertex_digest_sensitivity;
+        Alcotest.test_case "strong edge query" `Quick test_vertex_strong_edge_query;
+        Alcotest.test_case "id order" `Quick test_vertex_id_order;
+      ] );
+    ( "types.cert",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_cert_roundtrip;
+        Alcotest.test_case "wrong round shares" `Quick test_cert_wrong_round_shares;
+        Alcotest.test_case "kind separation" `Quick test_cert_kind_separation;
+      ] );
+    ( "types.codec",
+      [
+        Alcotest.test_case "wire_size = encode length" `Quick test_wire_size_matches_codec;
+        Alcotest.test_case "roundtrip all messages" `Quick test_codec_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "vertex/block standalone" `Quick test_vertex_block_codec_roundtrip;
+        qtest prop_codec_block_roundtrip;
+      ] );
+  ]

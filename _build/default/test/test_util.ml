@@ -1,0 +1,311 @@
+open Clanbft.Util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let distinct = ref 0 in
+  for _ = 1 to 32 do
+    if Rng.next_int64 a <> Rng.next_int64 b then incr distinct
+  done;
+  Alcotest.(check bool) "streams differ" true (!distinct > 28)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7L in
+  let child = Rng.split parent in
+  let c1 = Rng.next_int64 child and p1 = Rng.next_int64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 3L in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_rng_int_rejects_zero () =
+  let rng = Rng.create 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.0 in
+    Alcotest.(check bool) "in [0,3)" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_bytes_length () =
+  let rng = Rng.create 13L in
+  Alcotest.(check int) "length" 33 (Bytes.length (Rng.bytes rng 33))
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 17L in
+  let sum = ref 0.0 in
+  for _ = 1 to 1_000 do
+    let v = Rng.exponential rng ~mean:10.0 in
+    Alcotest.(check bool) "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. 1_000.0 in
+  Alcotest.(check bool) "mean near 10" true (mean > 8.0 && mean < 12.0)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic_order () =
+  let h = Heap.create ~dummy:"" () in
+  List.iter (fun (p, v) -> Heap.push h p v) [ (5, "e"); (1, "a"); (3, "c") ];
+  Alcotest.(check (option (pair int string))) "min first" (Some (1, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "then 3" (Some (3, "c")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "then 5" (Some (5, "e")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "empty" None (Heap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create ~dummy:"" () in
+  List.iter (fun v -> Heap.push h 7 v) [ "first"; "second"; "third" ];
+  Alcotest.(check (option (pair int string))) "fifo 1" (Some (7, "first")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo 2" (Some (7, "second")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "fifo 3" (Some (7, "third")) (Heap.pop h)
+
+let test_heap_peek () =
+  let h = Heap.create ~dummy:0 () in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek_priority h);
+  Heap.push h 9 1;
+  Heap.push h 2 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek_priority h);
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create ~dummy:0 () in
+  for i = 1 to 10 do
+    Heap.push h i i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun priorities ->
+      let h = Heap.create ~dummy:0 () in
+      List.iter (fun p -> Heap.push h p p) priorities;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare priorities)
+
+let prop_heap_growth =
+  QCheck.Test.make ~name:"heap grows past initial capacity" ~count:20
+    QCheck.(int_range 100 2000)
+    (fun n ->
+      let h = Heap.create ~capacity:4 ~dummy:0 () in
+      for i = n downto 1 do
+        Heap.push h i i
+      done;
+      Heap.length h = n && Heap.peek_priority h = Some 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_add_mem () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "fresh add" true (Bitset.add b 63);
+  Alcotest.(check bool) "duplicate add" false (Bitset.add b 63);
+  Alcotest.(check bool) "mem" true (Bitset.mem b 63);
+  Alcotest.(check bool) "not mem" false (Bitset.mem b 64);
+  Alcotest.(check int) "cardinal" 1 (Bitset.cardinal b)
+
+let test_bitset_remove () =
+  let b = Bitset.of_list 10 [ 1; 2; 3 ] in
+  Alcotest.(check bool) "remove present" true (Bitset.remove b 2);
+  Alcotest.(check bool) "remove absent" false (Bitset.remove b 2);
+  Alcotest.(check int) "cardinal after" 2 (Bitset.cardinal b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.add b 10))
+
+let test_bitset_word_boundaries () =
+  (* Exercise indices around the 63-bit word boundary. *)
+  let b = Bitset.create 200 in
+  List.iter
+    (fun i -> ignore (Bitset.add b i))
+    [ 0; 62; 63; 64; 125; 126; 127; 199 ];
+  Alcotest.(check (list int)) "round-trip" [ 0; 62; 63; 64; 125; 126; 127; 199 ]
+    (Bitset.to_list b)
+
+let test_bitset_inter_cardinal () =
+  let a = Bitset.of_list 100 [ 1; 50; 99 ] in
+  let b = Bitset.of_list 100 [ 50; 99; 3 ] in
+  Alcotest.(check int) "intersection" 2 (Bitset.inter_cardinal a b)
+
+let test_bitset_union_into () =
+  let a = Bitset.of_list 100 [ 1; 2 ] in
+  let b = Bitset.of_list 100 [ 2; 3 ] in
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal a);
+  Alcotest.(check bool) "has 3" true (Bitset.mem a 3)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a list model" ~count:200
+    QCheck.(list (int_range 0 199))
+    (fun ops ->
+      let b = Bitset.create 200 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun i ->
+          ignore (Bitset.add b i);
+          Hashtbl.replace model i ())
+        ops;
+      let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
+      Bitset.to_list b = expected && Bitset.cardinal b = List.length expected)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s)
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Stats.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile s 100.0)
+
+let test_stats_minmax () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.0; -1.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "min" (-1.0) (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max s)
+
+let test_stats_empty_errors () =
+  let s = Stats.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile s 50.0))
+
+let test_stats_add_after_sort () =
+  (* percentile sorts internally; adding afterwards must still work *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 3.0; 1.0 ];
+  ignore (Stats.percentile s 50.0);
+  Stats.add s 2.0;
+  Alcotest.(check (float 1e-9)) "p50 after re-add" 2.0 (Stats.percentile s 50.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check bool) "stddev near 2.14" true
+    (abs_float (Stats.stddev s -. 2.138) < 0.01)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 5;
+  Alcotest.(check int) "value" 6 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.get c)
+
+(* ------------------------------------------------------------------ *)
+(* Hex *)
+
+let test_hex_encode () =
+  Alcotest.(check string) "known" "00ff10" (Hex.encode "\x00\xff\x10")
+
+let test_hex_decode_cases () =
+  Alcotest.(check string) "upper/lower" "\xab\xcd" (Hex.decode "AbCd")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Hex.decode: non-hex character")
+    (fun () -> ignore (Hex.decode "zz"))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex decode/encode round-trips" ~count:200
+    QCheck.string
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int covers range" `Quick test_rng_int_covers;
+        Alcotest.test_case "int rejects zero" `Quick test_rng_int_rejects_zero;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "shuffle is permutation" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+        Alcotest.test_case "exponential" `Quick test_rng_exponential_positive;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "basic order" `Quick test_heap_basic_order;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "peek/length" `Quick test_heap_peek;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        qtest prop_heap_sorts;
+        qtest prop_heap_growth;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "add/mem" `Quick test_bitset_add_mem;
+        Alcotest.test_case "remove" `Quick test_bitset_remove;
+        Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
+        Alcotest.test_case "inter cardinal" `Quick test_bitset_inter_cardinal;
+        Alcotest.test_case "union into" `Quick test_bitset_union_into;
+        qtest prop_bitset_model;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+        Alcotest.test_case "min/max" `Quick test_stats_minmax;
+        Alcotest.test_case "empty errors" `Quick test_stats_empty_errors;
+        Alcotest.test_case "add after sort" `Quick test_stats_add_after_sort;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "counter" `Quick test_counter;
+      ] );
+    ( "util.hex",
+      [
+        Alcotest.test_case "encode" `Quick test_hex_encode;
+        Alcotest.test_case "decode cases" `Quick test_hex_decode_cases;
+        Alcotest.test_case "errors" `Quick test_hex_errors;
+        qtest prop_hex_roundtrip;
+      ] );
+  ]
