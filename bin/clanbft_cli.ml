@@ -26,8 +26,38 @@ let protocol_conv =
   in
   Arg.conv (parse, print)
 
+(* Shared fault-plan flags (see Faults DSL docs / EXPERIMENTS.md). *)
+let fault_flags =
+  let faults =
+    Arg.(value & opt_all string []
+         & info [ "fault" ]
+             ~doc:"Fault rule, e.g. $(b,drop=0.5:kind=echo:dst=8:until=3s), \
+                   $(b,delay=10ms..80ms:src=1) or $(b,dup=2:kind=val). Repeatable.")
+  in
+  let partitions =
+    Arg.(value & opt_all string []
+         & info [ "partition" ]
+             ~doc:"Network partition, e.g. $(b,0,1,2|3,4:until=2s) (heals at \
+                   2 s). Repeatable.")
+  in
+  let mutes =
+    Arg.(value & opt_all string []
+         & info [ "mute" ]
+             ~doc:"Mute a node, e.g. $(b,3:round=10) or $(b,3:time=2s). \
+                   Repeatable.")
+  in
+  Term.(
+    const (fun faults partitions mutes ->
+        match Faults.plan_of_specs ~rules:faults ~partitions ~mutes () with
+        | Ok plan -> plan
+        | Error e ->
+            Printf.eprintf "bad fault spec: %s\n" e;
+            Stdlib.exit 2)
+    $ faults $ partitions $ mutes)
+
 let sim_cmd =
-  let run n protocol nc q load size duration warmup seed uniform crashed verbose =
+  let run n protocol nc q load size duration warmup seed uniform crashed
+      fault_plan verbose =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -62,6 +92,7 @@ let sim_cmd =
         seed = Int64.of_int seed;
         topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
         crashed;
+        fault_plan;
       }
     in
     let r = Runner.run spec in
@@ -101,7 +132,7 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a simulated geo-distributed experiment")
     Term.(
       const run $ n $ protocol $ nc $ q $ load $ size $ duration $ warmup $ seed
-      $ uniform $ crashed $ verbose)
+      $ uniform $ crashed $ fault_flags $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* clan-size *)
@@ -133,7 +164,7 @@ let clan_size_cmd =
 (* rbc *)
 
 let rbc_cmd =
-  let run n nc protocol bytes =
+  let run n nc protocol bytes adversary reveal decoys seed duration fault_plan =
     let protocol =
       match String.lowercase_ascii protocol with
       | "bracha" -> Rbc.Bracha
@@ -144,33 +175,102 @@ let rbc_cmd =
           prerr_endline "protocol: bracha | signed | tribe-bracha | tribe-signed";
           exit 2
     in
+    let value = String.make bytes 'x' in
+    let behaviour =
+      (* Default reveal is f_c + 1: the smallest clan exposure that still
+         lets the echo quorum form, forcing the rest of the clan to pull. *)
+      let reveal = match reveal with Some r -> r | None -> (nc + 1) / 2 in
+      let decoy = String.make bytes 'y' in
+      match String.lowercase_ascii adversary with
+      | "none" -> None
+      | "silent" -> Some Adversary.Silent
+      | "equivocate" -> Some (Adversary.Equivocate { values = [ value; decoy ] })
+      | "equivocate-biased" ->
+          Some (Adversary.Equivocate_biased { value; decoy; decoys })
+      | "withhold" -> Some (Adversary.Withhold { value; reveal })
+      | _ ->
+          prerr_endline
+            "adversary: none | silent | equivocate | equivocate-biased | withhold";
+          exit 2
+    in
     let engine = Engine.create () in
     let topology = Topology.gcp_table1 ~n in
+    let rng = Util.Rng.create (Int64.of_int seed) in
     let net =
       Net.create ~engine ~topology ~config:Net.default_config
-        ~size:(Rbc.msg_size ~n) ~rng:(Util.Rng.create 77L) ()
+        ~size:(Rbc.msg_size ~n) ~rng ()
     in
     let keychain = Crypto.Keychain.create ~seed:3L ~n in
     let clan = Committee.elect_balanced ~n ~nc in
-    let values = ref 0 and digests = ref 0 and last = ref 0 in
+    let deliveries = ref [] and last = ref 0 in
     let nodes =
       Array.init n (fun me ->
-          Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
-            ~on_deliver:(fun ~sender:_ ~round:_ outcome ->
-              last := Engine.now engine;
-              match outcome with
-              | Rbc.Value _ -> incr values
-              | Rbc.Digest_only _ -> incr digests)
-            ())
+          if me = 0 && behaviour <> None then begin
+            (* The Byzantine sender runs no honest instance. *)
+            Net.set_handler net me (fun ~src:_ _ -> ());
+            None
+          end
+          else
+            Some
+              (Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
+                 ~on_deliver:(fun ~sender:_ ~round:_ outcome ->
+                   last := Engine.now engine;
+                   deliveries := (me, outcome) :: !deliveries)
+                 ()))
     in
-    Rbc.broadcast nodes.(0) ~round:1 (String.make bytes 'x');
-    Engine.run engine;
+    let injector =
+      if Faults.is_empty fault_plan then None
+      else
+        Some
+          (Faults.install ~engine ~net ~rng:(Util.Rng.split rng)
+             ~classify:Rbc.msg_tag ~round_of:Rbc.msg_round fault_plan)
+    in
+    (match behaviour with
+    | None -> Rbc.broadcast (Option.get nodes.(0)) ~round:1 value
+    | Some b -> Adversary.run ~sender:0 ~n ~clan ~protocol ~net ~round:1 b);
+    (* Adversarial scenarios can legitimately never deliver (e.g. a silent
+       or cleanly equivocating sender), so bound the run. *)
+    if behaviour = None && injector = None then Engine.run engine
+    else Engine.run ~until:(Time.s duration) engine;
+    let values =
+      List.length
+        (List.filter (fun (_, o) -> match o with Rbc.Value _ -> true | _ -> false)
+           !deliveries)
+    in
+    let digests = List.length !deliveries - values in
+    let honest = Array.to_list nodes |> List.filter_map Fun.id in
+    let stalled = List.length honest - List.length !deliveries in
+    let distinct =
+      List.sort_uniq compare
+        (List.map
+           (fun (_, o) ->
+             match o with
+             | Rbc.Value v -> Crypto.Digest32.to_raw (Crypto.Digest32.hash_string v)
+             | Rbc.Digest_only d -> Crypto.Digest32.to_raw d)
+           !deliveries)
+    in
+    (match behaviour with
+    | None -> ()
+    | Some b ->
+        Printf.printf "adversary: %s (sender 0, seed %d)\n"
+          (Adversary.behaviour_name b) seed);
     Printf.printf
-      "%s: delivered to all %d nodes (%d full values, %d digests)\n"
-      (Rbc.protocol_name protocol) (!values + !digests) !values !digests;
-    Printf.printf "last delivery at %.1f ms; %.2f MB total on the wire\n"
-      (Time.to_ms !last)
-      (float_of_int (Net.total_bytes net) /. 1e6)
+      "%s: %d/%d honest nodes delivered (%d full values, %d digests, %d stalled)\n"
+      (Rbc.protocol_name protocol)
+      (List.length !deliveries) (List.length honest) values digests stalled;
+    Printf.printf "agreement: %s\n"
+      (if List.length distinct <= 1 then "ok (single digest)"
+       else Printf.sprintf "VIOLATED (%d distinct digests)" (List.length distinct));
+    if !deliveries <> [] then
+      Printf.printf "last delivery at %.1f ms; %.2f MB total on the wire\n"
+        (Time.to_ms !last)
+        (float_of_int (Net.total_bytes net) /. 1e6);
+    (match injector with
+    | None -> ()
+    | Some i ->
+        Printf.printf "fault injector: %d dropped, %d delayed, %d duplicated\n"
+          (Faults.dropped i) (Faults.delayed i) (Faults.duplicated i));
+    if List.length distinct > 1 then exit 1
   in
   let n = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Tribe size.") in
   let nc = Arg.(value & opt int 16 & info [ "clan-size" ] ~doc:"Clan size.") in
@@ -178,9 +278,35 @@ let rbc_cmd =
     Arg.(value & opt string "tribe-signed" & info [ "p"; "protocol" ] ~doc:"RBC variant.")
   in
   let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes" ] ~doc:"Value size.") in
+  let adversary =
+    Arg.(value & opt string "none"
+         & info [ "adversary" ]
+             ~doc:"Byzantine sender behaviour: $(b,none) | $(b,silent) | \
+                   $(b,equivocate) | $(b,equivocate-biased) | $(b,withhold).")
+  in
+  let reveal =
+    Arg.(value & opt (some int) None
+         & info [ "reveal" ]
+             ~doc:"Clan members the withholding sender sends the full value \
+                   to (default: exactly f_c+1).")
+  in
+  let decoys =
+    Arg.(value & opt int 1
+         & info [ "decoys" ]
+             ~doc:"Recipients fed the decoy value by equivocate-biased.")
+  in
+  let seed = Arg.(value & opt int 77 & info [ "seed" ] ~doc:"Random seed.") in
+  let dur =
+    Arg.(value & opt float 60.0
+         & info [ "duration" ] ~doc:"Simulated horizon (s) for adversarial runs.")
+  in
   Cmd.v
-    (Cmd.info "rbc" ~doc:"Run one reliable-broadcast instance and report cost")
-    Term.(const run $ n $ nc $ protocol $ bytes)
+    (Cmd.info "rbc"
+       ~doc:"Run one reliable-broadcast instance (optionally under a \
+             Byzantine sender and injected network faults) and report cost")
+    Term.(
+      const run $ n $ nc $ protocol $ bytes $ adversary $ reveal $ decoys $ seed
+      $ dur $ fault_flags)
 
 (* ------------------------------------------------------------------ *)
 (* latency *)

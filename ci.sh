@@ -1,0 +1,20 @@
+#!/bin/sh
+# Minimal CI gate: build, formatting (when ocamlformat is available), tests.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== format check =="
+  dune build @fmt
+else
+  echo "== format check skipped (ocamlformat not installed) =="
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"

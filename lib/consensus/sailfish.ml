@@ -407,7 +407,13 @@ and request_parents t (child : Vertex.t) missing =
         (* Ask the child's proposer first (it certainly held the parent),
            falling back to the parent's own source. *)
         vertex_fetch_loop t slot [ child.source; r.source ]
-      end)
+      end;
+      (* The child is RBC-delivered, so a quorum certified its content —
+         edges included. The edge digest therefore certifies the parent
+         too: complete the parent's RBC instance by reference, so a node
+         that lost every echo for it (e.g. behind a partition) can still
+         deliver via fetch and walk the chain back to its frontier. *)
+      certified t slot r.digest)
     missing
 
 and fetch_vertex t slot =

@@ -58,6 +58,11 @@ module Codec = Clanbft_types.Codec
 
 module Rbc = Clanbft_rbc.Rbc
 
+(** {1 Byzantine fault injection} *)
+
+module Faults = Clanbft_faults.Faults
+module Adversary = Clanbft_faults.Adversary
+
 (** {1 DAG and consensus (paper §5–§6)} *)
 
 module Dag_store = Clanbft_dag.Store

@@ -57,6 +57,25 @@ let msg_size ~n m =
   | Pull_request _ -> 1 + 4 + 4
   | Pull_reply { value; _ } -> 1 + 4 + 4 + 4 + String.length value
 
+let msg_tag = function
+  | Val _ -> "val"
+  | Val_digest _ -> "val_digest"
+  | Echo _ -> "echo"
+  | Ready _ -> "ready"
+  | Echo_cert _ -> "echo_cert"
+  | Pull_request _ -> "pull_request"
+  | Pull_reply _ -> "pull_reply"
+
+let msg_round = function
+  | Val { round; _ }
+  | Val_digest { round; _ }
+  | Echo { round; _ }
+  | Ready { round; _ }
+  | Echo_cert { round; _ }
+  | Pull_request { round; _ }
+  | Pull_reply { round; _ } ->
+      Some round
+
 let echo_signing_string ~sender ~round digest =
   Printf.sprintf "rbc-echo|%d|%d|%s" sender round (Digest32.to_raw digest)
 
@@ -82,7 +101,9 @@ type instance = {
   mutable sent_cert : bool;
   mutable delivered : outcome option;
   mutable pulling : bool;
-  mutable pull_candidates : int list;
+  mutable pull_candidates : int list; (* remainder of the current sweep *)
+  mutable pull_ring : int list; (* the full candidate cycle *)
+  mutable pull_cycles : int; (* completed sweeps, drives the backoff *)
   served : (int, int) Hashtbl.t; (* peer -> pull replies served *)
 }
 
@@ -166,6 +187,8 @@ and instance_of t ~sender ~round =
           delivered = None;
           pulling = false;
           pull_candidates = [];
+          pull_ring = [];
+          pull_cycles = 0;
           served = Hashtbl.create 4;
         }
       in
@@ -218,32 +241,54 @@ and deliver t inst outcome =
 and start_pull t inst digest =
   if (not inst.pulling) && inst.delivered = None then begin
     inst.pulling <- true;
-    (* Candidates: parties that echoed the agreed digest, clan members
-       first — they are guaranteed (whp) to include an honest value
-       holder. *)
-    let echoers =
-      match Digest32.Tbl.find_opt inst.echoes digest with
-      | Some v -> Bitset.to_list v.voters
+    (* Candidates, in decreasing order of confidence: parties that ECHOed
+       the agreed digest (clan members first — whp they include an honest
+       value holder), then READY voters (a node that delivered via 2f+1
+       READYs may never have seen a single ECHO for this digest), and
+       finally every other clan member — totality guarantees at least one
+       honest clan member holds the value once anyone delivered. *)
+    let seen = Bitset.create t.n in
+    let keep i = i <> t.me && Bitset.add seen i in
+    let voters tbl =
+      match Digest32.Tbl.find_opt tbl digest with
+      | Some v -> List.filter keep (Bitset.to_list v.voters)
       | None -> []
     in
-    let clan_first, rest =
-      List.partition (fun i -> in_clan t i && i <> t.me) echoers
+    let echo_clan, echo_rest = List.partition (in_clan t) (voters inst.echoes) in
+    let ready_clan, ready_rest =
+      List.partition (in_clan t) (voters inst.readies)
     in
-    inst.pull_candidates <- clan_first @ List.filter (fun i -> i <> t.me) rest;
+    let clan_rest =
+      List.filter (fun i -> in_clan t i && keep i) (List.init t.n Fun.id)
+    in
+    inst.pull_candidates <-
+      echo_clan @ echo_rest @ ready_clan @ ready_rest @ clan_rest;
+    inst.pull_ring <- inst.pull_candidates;
+    inst.pull_cycles <- 0;
     pull_next t inst digest
   end
 
 and pull_next t inst digest =
   if inst.delivered = None then
     match inst.pull_candidates with
-    | [] -> () (* exhausted: validity/agreement guarantee this is the
-                  negligible dishonest-clan case *)
     | target :: rest ->
         inst.pull_candidates <- rest;
         Net.send t.net ~src:t.me ~dst:target
           (Pull_request { sender = inst.sender; round = inst.round });
         Engine.schedule_after t.engine t.pull_retry (fun () ->
             pull_next t inst digest)
+    | [] -> (
+        (* Sweep exhausted. Under transient loss or slow peers a one-shot
+           traversal is a liveness hole: go around again, with exponential
+           backoff capped at 16 x pull_retry. *)
+        match inst.pull_ring with
+        | [] -> () (* nobody but us could ever hold the value *)
+        | ring ->
+            inst.pull_cycles <- inst.pull_cycles + 1;
+            let backoff = t.pull_retry * (1 lsl min inst.pull_cycles 4) in
+            inst.pull_candidates <- ring;
+            Engine.schedule_after t.engine backoff (fun () ->
+                pull_next t inst digest))
 
 and try_deliver t inst digest =
   if inst.delivered = None then begin
@@ -284,12 +329,19 @@ and on_echo_quorum t inst digest (v : votes) =
       end
 
 and handle_val t inst value =
-  (* Only the first VAL from the sender counts (non-equivocation is then
-     enforced by the quorum rules). *)
-  if inst.value = None && inst.delivered = None then inst.value <- Some value;
-  (* Clan members echo only after receiving the value itself. *)
-  if inst.value <> None then
-    send_echo t inst (Digest32.hash_string (Option.get inst.value))
+  if is_tribe t.protocol && not (in_clan t t.me) then
+    (* Non-clan parties play the digest-only role even when a (Byzantine)
+       sender ships them the full payload: storing an unverifiable value
+       would let us serve equivocated payloads to pulling clan members. *)
+    handle_val_digest t inst (Digest32.hash_string value)
+  else begin
+    (* Only the first VAL from the sender counts (non-equivocation is then
+       enforced by the quorum rules). *)
+    if inst.value = None && inst.delivered = None then inst.value <- Some value;
+    (* Clan members echo only after receiving the value itself. *)
+    if inst.value <> None then
+      send_echo t inst (Digest32.hash_string (Option.get inst.value))
+  end
 
 and handle_val_digest t inst digest =
   (* Only meaningful for parties outside the clan in the tribe protocols:

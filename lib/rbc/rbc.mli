@@ -29,6 +29,13 @@ type protocol = Bracha | Signed_two_round | Tribe_bracha | Tribe_signed
 
 val protocol_name : protocol -> string
 
+val is_tribe : protocol -> bool
+(** Clan-based dissemination: only clan members receive (and serve) the
+    full value. *)
+
+val is_signed : protocol -> bool
+(** Two-round variants whose ECHOs carry signatures (Fig. 3). *)
+
 (** Wire messages; exposed so tests can inject Byzantine traffic straight
     into the network. *)
 type msg =
@@ -60,6 +67,14 @@ type msg =
 val msg_size : n:int -> msg -> int
 (** Wire bytes; plug into {!Clanbft_sim.Net.create}. *)
 
+val msg_tag : msg -> string
+(** Constructor name ([val], [echo], [pull_request], …); the [classify]
+    hook for {!Clanbft_faults.Faults}-style kind-keyed fault rules. *)
+
+val msg_round : msg -> int option
+(** The RBC round a message belongs to; always [Some _] here, typed as an
+    option to match round-window fault-injection hooks. *)
+
 val echo_signing_string : sender:int -> round:int -> Digest32.t -> string
 
 type outcome = Value of string | Digest_only of Digest32.t
@@ -83,7 +98,13 @@ val create :
 (** Builds an honest node and installs its network handler. [clan] is
     required (and only meaningful) for the tribe protocols. [pull_budget]
     caps how many pull requests per (instance, peer) this node will serve
-    (rate limiting). [on_deliver] fires exactly once per (sender, round). *)
+    (rate limiting). [on_deliver] fires exactly once per (sender, round).
+
+    A node that agreed on a digest it lacks the payload for pulls from ECHO
+    voters, then READY voters, then every other clan member, retrying one
+    peer per [pull_retry]; exhausted sweeps restart under exponential
+    backoff (capped at 16 x [pull_retry]) until delivery, so transient loss
+    or Byzantine non-repliers cannot stall a clan member forever. *)
 
 val broadcast : node -> round:int -> string -> unit
 (** r_bcast: disseminate a value as the designated sender. *)

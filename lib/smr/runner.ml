@@ -5,6 +5,7 @@ module Analysis = Clanbft_committee.Analysis
 module Sailfish = Clanbft_consensus.Sailfish
 module Stats = Clanbft_util.Stats
 module Rng = Clanbft_util.Rng
+module Faults = Clanbft_faults.Faults
 
 type protocol =
   | Full
@@ -29,6 +30,7 @@ type spec = {
   net : Net.config;
   params : Sailfish.params;
   crashed : int list;
+  fault_plan : Faults.plan;
   persist : bool;
   clan_random : bool;
 }
@@ -47,6 +49,7 @@ let default_spec =
     net = Net.default_config;
     params = Sailfish.default_params;
     crashed = [];
+    fault_plan = Faults.empty;
     persist = false;
     clan_random = false;
   }
@@ -196,6 +199,13 @@ let run spec =
           ~on_commit:(fun ~leader vs -> on_commit me ~leader vs)
           ())
   in
+  (* Installed last so an empty plan consumes no RNG draws: benign runs
+     stay bit-identical to their pre-fault-harness behaviour per seed. *)
+  if not (Faults.is_empty spec.fault_plan) then
+    ignore
+      (Faults.install ~engine ~net
+         ~rng:(Rng.split rng)
+         ~classify:Msg.tag ~round_of:Msg.round spec.fault_plan);
   Array.iteri (fun i node -> if not crashed.(i) then Node.start node) nodes;
   Engine.run ~until:spec.duration engine;
   (* ---- agreement: common prefix of commit sequences ---- *)

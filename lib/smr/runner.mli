@@ -34,6 +34,11 @@ type spec = {
   net : Net.config;
   params : Clanbft_consensus.Sailfish.params;
   crashed : int list;  (** replicas that never start (crash faults) *)
+  fault_plan : Clanbft_faults.Faults.plan;
+      (** Byzantine-network scenario (drop/delay/duplication rules,
+          partitions, mute-after-round crashes) injected via the net
+          filter; {!Clanbft_faults.Faults.empty} for benign runs. Seeded
+          from [seed], so adversarial runs replay exactly. *)
   persist : bool;
   clan_random : bool;  (** random clan election instead of region-balanced *)
 }

@@ -60,6 +60,18 @@ let tag = function
   | Vertex_request _ -> "vertex_request"
   | Vertex_reply _ -> "vertex_reply"
 
+let round = function
+  | Val { vertex; _ } | Vertex_reply { vertex; _ } -> Some vertex.Vertex.round
+  | Echo { round; _ }
+  | Echo_cert { round; _ }
+  | Timeout_share { round; _ }
+  | No_vote_share { round; _ }
+  | Block_request { round; _ }
+  | Vertex_request { round; _ } ->
+      Some round
+  | Timeout_cert cert -> Some cert.Cert.round
+  | Block_reply _ -> None
+
 let pp ppf t =
   match t with
   | Val { vertex; block; _ } ->

@@ -52,4 +52,9 @@ val wire_size : n:int -> t -> int
 val tag : t -> string
 (** Constructor name, for logs and traffic accounting. *)
 
+val round : t -> int option
+(** The consensus round a message belongs to (a VAL's vertex round;
+    [None] only for [Block_reply]). Feeds round-windowed fault rules and
+    mute-after-round crash injection. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,489 @@
+(* Fault-injection harness + the pull-path liveness regressions it exists
+   to pin down.
+
+   World constants mirror test_rbc.ml: n = 10, f = 3, quorum = 7,
+   clan = [|0;2;4;6;8|] (f_c = 1, clan echo quorum f_c+1 = 2 — but
+   Withhold scenarios below use reveal = 3 = (nc+1)/2 so an honest
+   majority of the clan holds the payload). *)
+
+open Clanbft
+open Clanbft.Sim
+open Clanbft.Crypto
+module Rng = Util.Rng
+
+let clan = [| 0; 2; 4; 6; 8 |]
+
+type world = {
+  engine : Engine.t;
+  net : Rbc.msg Net.t;
+  nodes : Rbc.node option array;
+  deliveries : (int * int * Rbc.outcome) list ref; (* (time, node, outcome) *)
+  injector : Rbc.msg Faults.t option;
+}
+
+let make_world ?(n = 10) ?(byzantine = []) ?(plan = Faults.empty) protocol =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~one_way_ms:10.0 in
+  let config = { Net.default_config with jitter = 0.0 } in
+  let rng = Rng.create 7L in
+  let net =
+    Net.create ~engine ~topology ~config ~size:(Rbc.msg_size ~n) ~rng ()
+  in
+  let injector =
+    if Faults.is_empty plan then None
+    else
+      Some
+        (Faults.install ~engine ~net ~rng:(Rng.split rng)
+           ~classify:Rbc.msg_tag ~round_of:Rbc.msg_round plan)
+  in
+  let keychain = Keychain.create ~seed:11L ~n in
+  let deliveries = ref [] in
+  let nodes =
+    Array.init n (fun me ->
+        if List.mem me byzantine then begin
+          Net.set_handler net me (fun ~src:_ _ -> ());
+          None
+        end
+        else
+          Some
+            (Rbc.create ~me ~n ~clan ~protocol ~engine ~net ~keychain
+               ~on_deliver:(fun ~sender:_ ~round:_ outcome ->
+                 deliveries := (Engine.now engine, me, outcome) :: !deliveries)
+               ()))
+  in
+  { engine; net; nodes; deliveries; injector }
+
+let plan_exn ?(rules = []) ?(partitions = []) ?(mutes = []) () =
+  match Faults.plan_of_specs ~rules ~partitions ~mutes () with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad plan spec: %s" e
+
+let outcome_of w i =
+  List.find_map
+    (fun (_, me, o) -> if me = i then Some o else None)
+    !(w.deliveries)
+
+let value_count w =
+  List.length
+    (List.filter (fun (_, _, o) -> match o with Rbc.Value _ -> true | _ -> false)
+       !(w.deliveries))
+
+let distinct_digests w =
+  List.sort_uniq compare
+    (List.map
+       (fun (_, _, o) ->
+         match o with
+         | Rbc.Value v -> Digest32.to_raw (Digest32.hash_string v)
+         | Rbc.Digest_only d -> Digest32.to_raw d)
+       !(w.deliveries))
+
+(* ------------------------------------------------------------------ *)
+(* Headline regression: a clan member that agrees on the digest via the
+   READY path (or an echo certificate) with an EMPTY echo table must
+   still be able to pull the payload. Before the fix its candidate list
+   was built from echo voters only, so it stalled forever. *)
+
+let test_pull_after_ready_only_agreement protocol () =
+  (* Byzantine sender 0 reveals the payload to clan members 2, 4, 6 only
+     (digests elsewhere); every ECHO addressed to clan member 8 is
+     dropped, so 8 agrees purely via READYs / certificate. *)
+  let plan = plan_exn ~rules:[ "drop:kind=echo:dst=8" ] () in
+  let w = make_world ~byzantine:[ 0 ] ~plan protocol in
+  Adversary.run ~sender:0 ~n:10 ~clan ~protocol ~net:w.net ~round:1
+    (Adversary.Withhold { value = "headline-payload"; reveal = 3 });
+  Engine.run ~until:(Time.s 30.) w.engine;
+  (match w.injector with
+  | Some i -> Alcotest.(check bool) "echoes were dropped" true (Faults.dropped i > 0)
+  | None -> assert false);
+  (* All nine honest nodes deliver; every honest clan member — including
+     the echo-starved one — gets the full value. *)
+  Alcotest.(check int) "all honest deliver" 9 (List.length !(w.deliveries));
+  List.iter
+    (fun i ->
+      match outcome_of w i with
+      | Some (Rbc.Value v) ->
+          Alcotest.(check string)
+            (Printf.sprintf "clan member %d payload" i)
+            "headline-payload" v
+      | Some (Rbc.Digest_only _) ->
+          Alcotest.failf "clan member %d only got the digest" i
+      | None -> Alcotest.failf "clan member %d stalled" i)
+    [ 2; 4; 6; 8 ];
+  Alcotest.(check int) "single digest" 1 (List.length (distinct_digests w))
+
+(* Transient loss: every pull request is dropped for the first 3 s. A
+   single sweep over the candidates exhausts well before that, so only
+   the cycle-with-backoff retry can complete delivery. *)
+let test_pull_retries_survive_transient_loss protocol () =
+  let plan =
+    plan_exn ~rules:[ "drop:kind=echo:dst=8"; "drop:kind=pull_request:until=3s" ] ()
+  in
+  let w = make_world ~byzantine:[ 0 ] ~plan protocol in
+  Adversary.run ~sender:0 ~n:10 ~clan ~protocol ~net:w.net ~round:1
+    (Adversary.Withhold { value = "retry-payload"; reveal = 3 });
+  Engine.run ~until:(Time.s 30.) w.engine;
+  (match outcome_of w 8 with
+  | Some (Rbc.Value v) -> Alcotest.(check string) "node 8 payload" "retry-payload" v
+  | Some (Rbc.Digest_only _) | None ->
+      Alcotest.fail "node 8 did not recover after the loss window");
+  let t8 =
+    List.find_map (fun (t, me, _) -> if me = 8 then Some t else None) !(w.deliveries)
+  in
+  Alcotest.(check bool) "delivered after the loss window" true
+    (Option.get t8 >= Time.s 3.)
+
+(* ------------------------------------------------------------------ *)
+(* Equivocation: whatever single digest the quorum certifies, every
+   honest value-entitled node ends up with the matching payload. *)
+
+let test_equivocating_sender protocol () =
+  let w = make_world ~byzantine:[ 0 ] protocol in
+  Adversary.run ~sender:0 ~n:10 ~clan ~protocol ~net:w.net ~round:1
+    (Adversary.Equivocate_biased { value = "majority"; decoy = "decoy"; decoys = 1 });
+  Engine.run ~until:(Time.s 30.) w.engine;
+  Alcotest.(check int) "single digest" 1 (List.length (distinct_digests w));
+  Alcotest.(check int) "all honest deliver" 9 (List.length !(w.deliveries));
+  let entitled =
+    if Rbc.is_tribe protocol then [ 2; 4; 6; 8 ]
+    else [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  List.iter
+    (fun i ->
+      match outcome_of w i with
+      | Some (Rbc.Value v) ->
+          Alcotest.(check string) (Printf.sprintf "node %d payload" i) "majority" v
+      | _ -> Alcotest.failf "entitled node %d missing the agreed value" i)
+    entitled;
+  Alcotest.(check int) "value deliveries" (List.length entitled) (value_count w)
+
+(* A Byzantine sender ships a full (wrong) value to a non-clan node. The
+   recipient must treat it as its digest: no storage, and no serving it
+   to pulling clan members later. *)
+let test_nonclan_never_serves_stray_val () =
+  let protocol = Rbc.Tribe_bracha in
+  let w = make_world ~byzantine:[ 0 ] protocol in
+  let digest = Digest32.hash_string "real-payload" in
+  (* Full value to the clan; a stray full value to non-clan node 1. *)
+  Array.iter
+    (fun dst ->
+      if dst <> 0 then
+        Net.send w.net ~src:0 ~dst
+          (Rbc.Val { sender = 0; round = 1; value = "real-payload" }))
+    clan;
+  Net.send w.net ~src:0 ~dst:1
+    (Rbc.Val { sender = 0; round = 1; value = "stray-wrong-value" });
+  Array.iter
+    (fun dst ->
+      if dst <> 1 && not (Array.mem dst clan) then
+        Net.send w.net ~src:0 ~dst (Rbc.Val_digest { sender = 0; round = 1; digest }))
+    (Array.init 10 Fun.id);
+  Engine.run w.engine;
+  (* Node 1 delivered the *correct* digest, not the stray value. *)
+  (match outcome_of w 1 with
+  | Some (Rbc.Digest_only d) ->
+      Alcotest.(check bool) "digest matches broadcast" true (Digest32.equal d digest)
+  | Some (Rbc.Value _) -> Alcotest.fail "non-clan node delivered a full value"
+  | None -> Alcotest.fail "node 1 stalled");
+  (* And it must not serve pulls: a pull request to node 1 yields no
+     reply message (message count stays +1 for the request itself). *)
+  let before = Net.total_messages w.net in
+  Net.send w.net ~src:4 ~dst:1 (Rbc.Pull_request { sender = 0; round = 1 });
+  Engine.run w.engine;
+  Alcotest.(check int) "no pull reply from non-clan node" (before + 1)
+    (Net.total_messages w.net)
+
+(* ------------------------------------------------------------------ *)
+(* Injector mechanics on a raw net *)
+
+type probe = Ping of int
+
+let raw_net ?(n = 4) plan =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~one_way_ms:5.0 in
+  let net =
+    Net.create ~engine ~topology ~config:{ Net.default_config with jitter = 0.0 }
+      ~size:(fun _ -> 100) ~rng:(Rng.create 3L) ()
+  in
+  let got : (int * int * int) list ref = ref [] in
+  (* (time, dst, payload) *)
+  for me = 0 to n - 1 do
+    Net.set_handler net me (fun ~src:_ (Ping k) ->
+        got := (Engine.now engine, me, k) :: !got)
+  done;
+  let injector =
+    Faults.install ~engine ~net ~rng:(Rng.create 5L)
+      ~classify:(fun _ -> "ping")
+      ~round_of:(fun (Ping k) -> Some k)
+      plan
+  in
+  (engine, net, got, injector)
+
+let test_drop_rule () =
+  let plan = plan_exn ~rules:[ "drop:kind=ping:dst=2" ] () in
+  let engine, net, got, injector = raw_net plan in
+  for dst = 1 to 3 do
+    Net.send net ~src:0 ~dst (Ping dst)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "only 1 and 3 hear" [ 1; 3 ]
+    (List.sort compare (List.map (fun (_, d, _) -> d) !got));
+  Alcotest.(check int) "one dropped" 1 (Faults.dropped injector);
+  Alcotest.(check int) "three examined" 3 (Faults.examined injector)
+
+let test_drop_probability_and_window () =
+  (* Deterministic edges: p=1.0 inside the window, pass outside it. *)
+  let plan = plan_exn ~rules:[ "drop=1.0:from=10ms:until=20ms" ] () in
+  let engine, net, got, _ = raw_net plan in
+  List.iter
+    (fun at ->
+      Engine.schedule_at engine (Time.ms at) (fun () ->
+          Net.send net ~src:0 ~dst:1 (Ping (int_of_float at))))
+    [ 5.0; 15.0; 25.0 ];
+  Engine.run engine;
+  Alcotest.(check (list int)) "window dropped" [ 5; 25 ]
+    (List.sort compare (List.map (fun (_, _, k) -> k) !got))
+
+let test_round_window_rule () =
+  let plan = plan_exn ~rules:[ "drop:rounds=2..3" ] () in
+  let engine, net, got, _ = raw_net plan in
+  List.iter (fun k -> Net.send net ~src:0 ~dst:1 (Ping k)) [ 1; 2; 3; 4 ];
+  Engine.run engine;
+  Alcotest.(check (list int)) "rounds 2-3 dropped" [ 1; 4 ]
+    (List.sort compare (List.map (fun (_, _, k) -> k) !got))
+
+let test_delay_rule () =
+  let plan = plan_exn ~rules:[ "delay=30ms:kind=ping" ] () in
+  let engine, net, got, injector = raw_net plan in
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  Engine.run engine;
+  (match !got with
+  | [ (t, 1, 1) ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arrives after 35ms (got %d us)" t)
+        true
+        (t >= Time.ms 35.0)
+  | _ -> Alcotest.fail "expected exactly one delayed delivery");
+  Alcotest.(check int) "counted" 1 (Faults.delayed injector)
+
+let test_duplicate_rule () =
+  let plan = plan_exn ~rules:[ "dup=2" ] () in
+  let engine, net, got, injector = raw_net plan in
+  Net.send net ~src:0 ~dst:1 (Ping 9);
+  Engine.run engine;
+  Alcotest.(check int) "three copies arrive" 3 (List.length !got);
+  Alcotest.(check int) "two duplicates made" 2 (Faults.duplicated injector)
+
+let test_partition_buffers_until_heal () =
+  let plan = plan_exn ~partitions:[ "0,1|2,3:until=50ms" ] () in
+  let engine, net, got, injector = raw_net plan in
+  Net.send net ~src:0 ~dst:1 (Ping 1);
+  (* same side: passes *)
+  Net.send net ~src:0 ~dst:2 (Ping 2);
+  (* severed: buffered until heal *)
+  Engine.run engine;
+  Alcotest.(check int) "both eventually arrive" 2 (List.length !got);
+  let t2 =
+    List.find_map (fun (t, d, _) -> if d = 2 then Some t else None) !got
+  in
+  Alcotest.(check bool) "cross-group copy held until heal" true
+    (Option.get t2 >= Time.ms 50.0);
+  let t1 =
+    List.find_map (fun (t, d, _) -> if d = 1 then Some t else None) !got
+  in
+  Alcotest.(check bool) "same-group copy on time" true (Option.get t1 < Time.ms 10.0);
+  Alcotest.(check int) "buffered copy counted as delayed" 1 (Faults.delayed injector)
+
+let test_permanent_partition_drops () =
+  let plan = plan_exn ~partitions:[ "0,1|2,3" ] () in
+  let engine, net, got, injector = raw_net plan in
+  Net.send net ~src:0 ~dst:2 (Ping 1);
+  Engine.run engine;
+  Alcotest.(check int) "never arrives" 0 (List.length !got);
+  Alcotest.(check int) "dropped" 1 (Faults.dropped injector)
+
+let test_mute_after_time () =
+  let plan = plan_exn ~mutes:[ "1:time=10ms" ] () in
+  let engine, net, got, _ = raw_net plan in
+  Net.send net ~src:1 ~dst:2 (Ping 1);
+  Engine.schedule_at engine (Time.ms 20.0) (fun () ->
+      Net.send net ~src:1 ~dst:2 (Ping 2));
+  Engine.run engine;
+  Alcotest.(check (list int)) "only the early message lands" [ 1 ]
+    (List.map (fun (_, _, k) -> k) !got)
+
+let test_mute_after_round () =
+  let plan = plan_exn ~mutes:[ "1:round=5" ] () in
+  let engine, net, got, _ = raw_net plan in
+  List.iter (fun k -> Net.send net ~src:1 ~dst:2 (Ping k)) [ 4; 5; 6 ];
+  Engine.run engine;
+  Alcotest.(check (list int)) "rounds >= 5 muted" [ 4 ]
+    (List.map (fun (_, _, k) -> k) !got)
+
+(* ------------------------------------------------------------------ *)
+(* DSL parsing *)
+
+let test_dsl_parses () =
+  let ok s =
+    match Faults.rule_of_string s with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%S should parse: %s" s e
+  in
+  List.iter ok
+    [
+      "drop";
+      "drop=0.25:kind=echo,val:src=!0:dst=1,2:from=1s:until=3s";
+      "delay=10ms..80ms";
+      "dup=3:rounds=2..8";
+      "drop:rounds=5..";
+    ];
+  let err s =
+    match Faults.rule_of_string s with
+    | Ok _ -> Alcotest.failf "%S should be rejected" s
+    | Error _ -> ()
+  in
+  List.iter err [ ""; "explode"; "drop=x"; "drop:kind"; "delay=80ms..10ms" ];
+  (match Faults.partition_of_string "0,1,2|3,4:until=2s" with
+  | Ok p ->
+      Alcotest.(check int) "heal" (Time.s 2.) p.Faults.heal_at;
+      Alcotest.(check int) "groups" 2 (List.length p.Faults.groups)
+  | Error e -> Alcotest.failf "partition should parse: %s" e);
+  (match Faults.partition_of_string "0,1,2" with
+  | Ok _ -> Alcotest.fail "single group should be rejected"
+  | Error _ -> ());
+  match Faults.mute_of_string "3:round=10" with
+  | Ok m ->
+      Alcotest.(check int) "node" 3 m.Faults.node;
+      Alcotest.(check int) "round" 10 m.Faults.after_round
+  | Error e -> Alcotest.failf "mute should parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: an adversarial run replays byte-identically. *)
+
+let test_adversarial_replay_deterministic () =
+  let run () =
+    let plan =
+      plan_exn
+        ~rules:[ "drop=0.3:kind=echo"; "delay=5ms..25ms:kind=pull_request" ]
+        ~partitions:[ "1,3|5,7:until=100ms" ] ()
+    in
+    let w = make_world ~byzantine:[ 0 ] ~plan Rbc.Tribe_bracha in
+    Adversary.run ~sender:0 ~n:10 ~clan ~protocol:Rbc.Tribe_bracha ~net:w.net
+      ~round:1
+      (Adversary.Withhold { value = "replay"; reveal = 3 });
+    Engine.run ~until:(Time.s 30.) w.engine;
+    ( List.sort compare
+        (List.map
+           (fun (t, me, o) ->
+             ( t,
+               me,
+               match o with
+               | Rbc.Value v -> "v:" ^ v
+               | Rbc.Digest_only d -> "d:" ^ Digest32.to_raw d ))
+           !(w.deliveries)),
+      Net.total_bytes w.net,
+      Net.total_messages w.net )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical traces" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Runner integration: full SMR under partition + loss still agrees and
+   commits once the scenario heals. *)
+
+let test_runner_with_fault_plan () =
+  let plan =
+    plan_exn
+      ~rules:[ "drop=0.2:kind=val:until=3s" ]
+      ~partitions:[ "0,1,2,3,4|5,6,7,8,9:until=1s" ] ()
+  in
+  let r =
+    Runner.run
+      {
+        Runner.default_spec with
+        n = 10;
+        duration = Time.s 6.;
+        warmup = Time.s 3.;
+        txns_per_proposal = 100;
+        txn_scale = 10;
+        topology = `Uniform 10.0;
+        fault_plan = plan;
+      }
+  in
+  Alcotest.(check bool) "agreement holds" true r.agreement;
+  Alcotest.(check bool) "commits after healing" true (r.committed_txns > 0)
+
+(* Installing an empty-plan injector is the caller's job to avoid; the
+   Runner skips it entirely, so benign specs consume no extra RNG draws
+   and produce bit-identical results with and without the faults field. *)
+let test_empty_plan_is_free () =
+  let run plan =
+    let r =
+      Runner.run
+        {
+          Runner.default_spec with
+          n = 10;
+          duration = Time.s 4.;
+          warmup = Time.s 1.;
+          txns_per_proposal = 50;
+          txn_scale = 10;
+          topology = `Uniform 10.0;
+          fault_plan = plan;
+        }
+    in
+    (r.committed_txns, r.rounds, r.bytes_total)
+  in
+  Alcotest.(check bool) "benign runs identical" true
+    (run Faults.empty = run (plan_exn ()))
+
+let protocol_cases mk =
+  List.map
+    (fun (name, p) -> Alcotest.test_case name `Quick (mk p))
+    [
+      ("bracha", Rbc.Bracha);
+      ("signed-2round", Rbc.Signed_two_round);
+      ("tribe-bracha", Rbc.Tribe_bracha);
+      ("tribe-signed", Rbc.Tribe_signed);
+    ]
+
+let tribe_cases mk =
+  List.map
+    (fun (name, p) -> Alcotest.test_case name `Quick (mk p))
+    [ ("tribe-bracha", Rbc.Tribe_bracha); ("tribe-signed", Rbc.Tribe_signed) ]
+
+let suites =
+  [
+    ( "faults.pull-liveness",
+      tribe_cases test_pull_after_ready_only_agreement
+      @ tribe_cases test_pull_retries_survive_transient_loss
+      @ [
+          Alcotest.test_case "non-clan never serves stray VAL" `Quick
+            test_nonclan_never_serves_stray_val;
+        ] );
+    ("faults.equivocation", protocol_cases test_equivocating_sender);
+    ( "faults.injector",
+      [
+        Alcotest.test_case "drop by kind+dst" `Quick test_drop_rule;
+        Alcotest.test_case "drop time window" `Quick test_drop_probability_and_window;
+        Alcotest.test_case "drop round window" `Quick test_round_window_rule;
+        Alcotest.test_case "delay" `Quick test_delay_rule;
+        Alcotest.test_case "duplicate" `Quick test_duplicate_rule;
+        Alcotest.test_case "partition buffers until heal" `Quick
+          test_partition_buffers_until_heal;
+        Alcotest.test_case "permanent partition drops" `Quick
+          test_permanent_partition_drops;
+        Alcotest.test_case "mute after time" `Quick test_mute_after_time;
+        Alcotest.test_case "mute after round" `Quick test_mute_after_round;
+        Alcotest.test_case "DSL parsing" `Quick test_dsl_parses;
+      ] );
+    ( "faults.determinism",
+      [
+        Alcotest.test_case "adversarial replay identical" `Quick
+          test_adversarial_replay_deterministic;
+        Alcotest.test_case "empty plan is free" `Quick test_empty_plan_is_free;
+      ] );
+    ( "faults.runner",
+      [
+        Alcotest.test_case "partition + loss: agree and commit" `Quick
+          test_runner_with_fault_plan;
+      ] );
+  ]

@@ -91,6 +91,67 @@ let test_engine_far_future () =
     (List.rev !log);
   Alcotest.(check int) "clock" 60_000_000 (Engine.now e)
 
+let test_engine_ring_horizon_boundary () =
+  (* The calendar ring covers [clock, clock + 2^23); an event exactly at
+     the horizon parks in the overflow heap and must migrate back and fire
+     at its precise microsecond, interleaved correctly with ring events. *)
+  let horizon = 1 lsl 23 in
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e horizon (fun () -> log := ("boundary", Engine.now e) :: !log);
+  Engine.schedule_at e (horizon - 1) (fun () -> log := ("ring", Engine.now e) :: !log);
+  Engine.schedule_at e (horizon + 1) (fun () -> log := ("past", Engine.now e) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "overflow events fire at their exact instants"
+    [ ("ring", horizon - 1); ("boundary", horizon); ("past", horizon + 1) ]
+    (List.rev !log)
+
+let test_engine_overflow_migration_keeps_time () =
+  (* An overflow event whose slot the clock approaches gradually (so it
+     migrates rather than being jumped to) shares its instant with a
+     late-scheduled ring event; both must run at that exact time. *)
+  let horizon = 1 lsl 23 in
+  let target = horizon + 500 in
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e target (fun () -> log := "overflow" :: !log);
+  (* Walk the clock close enough that the overflow event enters the ring,
+     then aim a second event at the same microsecond. *)
+  Engine.schedule_at e 1_000 (fun () ->
+      Engine.schedule_at e target (fun () -> log := "ring" :: !log));
+  Engine.run e;
+  Alcotest.(check bool) "both ran at the target instant" true
+    (List.sort compare !log = [ "overflow"; "ring" ]);
+  Alcotest.(check int) "clock at target" target (Engine.now e)
+
+let test_engine_until_past_last_event () =
+  (* [run ~until] with all events strictly before the horizon: the events
+     run, and the clock is clamped forward to [until] afterwards. *)
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule_at e 100 (fun () -> incr ran);
+  Engine.run ~until:500 e;
+  Alcotest.(check int) "event ran" 1 !ran;
+  Alcotest.(check int) "clock clamped to until" 500 (Engine.now e);
+  (* An event exactly at [until] is within the window and runs. *)
+  Engine.schedule_at e 800 (fun () -> incr ran);
+  Engine.run ~until:800 e;
+  Alcotest.(check int) "boundary event ran" 2 !ran;
+  Alcotest.(check int) "clock at boundary" 800 (Engine.now e)
+
+let test_engine_fifo_across_scheduling_instants () =
+  (* Two events aimed at the same future microsecond from different
+     scheduling instants run in scheduling order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 1_000 (fun () -> log := "first" :: !log);
+  Engine.schedule_at e 10 (fun () ->
+      Engine.schedule_at e 1_000 (fun () -> log := "second" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "scheduling order preserved" [ "first"; "second" ]
+    (List.rev !log)
+
 let test_engine_cascading () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -281,6 +342,12 @@ let suites =
         Alcotest.test_case "until empty" `Quick test_engine_until_empty_queue;
         Alcotest.test_case "max events" `Quick test_engine_max_events;
         Alcotest.test_case "far future (overflow ring)" `Quick test_engine_far_future;
+        Alcotest.test_case "ring horizon boundary" `Quick test_engine_ring_horizon_boundary;
+        Alcotest.test_case "overflow migration exact time" `Quick
+          test_engine_overflow_migration_keeps_time;
+        Alcotest.test_case "until past last event" `Quick test_engine_until_past_last_event;
+        Alcotest.test_case "fifo across scheduling instants" `Quick
+          test_engine_fifo_across_scheduling_instants;
         Alcotest.test_case "cascading timers" `Quick test_engine_cascading;
         Alcotest.test_case "step" `Quick test_engine_step;
         qtest prop_engine_deterministic;
