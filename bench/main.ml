@@ -10,7 +10,7 @@
 
    Sections can be selected on the command line:
      dune exec bench/main.exe -- table1 fig1 concrete fig5a fig5b fig5c \
-       fig6 ablation-latency ablation-rbc micro *)
+       fig6 ablation-latency ablation-rbc faults metrics micro *)
 
 open Clanbft
 open Clanbft.Sim
@@ -429,6 +429,82 @@ let faults () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Metrics dumps: per-protocol observability registries (Fig. 5 companion) *)
+
+let metrics_dir = "bench_metrics"
+
+let sanitize_label label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    label
+
+let metrics () =
+  section_header
+    (Printf.sprintf
+       "Metrics dumps — per-protocol registries under %s/ [%s profile]"
+       metrics_dir profile_name);
+  if not (Sys.file_exists metrics_dir) then Unix.mkdir metrics_dir 0o755;
+  let n, nc, duration, warmup, load =
+    match profile with
+    | Quick -> (16, 11, 4.0, 1.0, 100)
+    | Paper | Full -> (50, 32, 6.0, 2.0, 500)
+  in
+  let protocols =
+    [ Runner.Full; Runner.Single_clan { nc }; Runner.Multi_clan { q = 2 } ]
+  in
+  List.iter
+    (fun protocol ->
+      let obs = Obs.metrics_only () in
+      let spec =
+        {
+          Runner.default_spec with
+          n;
+          protocol;
+          txns_per_proposal = load;
+          duration = Time.s duration;
+          warmup = Time.s warmup;
+          obs = Some obs;
+        }
+      in
+      let r, secs = wall (fun () -> Runner.run spec) in
+      Printf.printf "\n  %-26s %8.1f kTPS  %7.1f ms  agree=%b  [%3.0fs wall]\n"
+        r.label r.throughput_ktps r.latency_mean_ms r.agreement secs;
+      (* Per-kind byte breakdown: the numbers behind Fig. 5's bandwidth
+         story — clan modes shift bytes from val (payload) to header-sized
+         vertex/echo/ready traffic. *)
+      Printf.printf "  %-12s %14s %12s %9s\n" "kind" "bytes" "messages" "share";
+      let total = float_of_int (max 1 r.bytes_total) in
+      let rows =
+        Metrics.fold obs.Obs.metrics ~init:[] ~f:(fun acc ~name ~labels v ->
+            match (name, labels, v) with
+            | "net_bytes_by_kind", [ ("kind", k) ], Metrics.Counter_v b ->
+                let msgs =
+                  match
+                    Metrics.find obs.Obs.metrics ~labels "net_messages_by_kind"
+                  with
+                  | Some (Metrics.Counter_v m) -> m
+                  | _ -> 0
+                in
+                (k, b, msgs) :: acc
+            | _ -> acc)
+      in
+      List.iter
+        (fun (k, b, m) ->
+          Printf.printf "  %-12s %14d %12d %8.1f%%\n" k b m
+            (100.0 *. float_of_int b /. total))
+        (List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows);
+      let path =
+        Filename.concat metrics_dir
+          (sanitize_label (Runner.protocol_label protocol) ^ ".metrics.json")
+      in
+      Metrics.write_json obs.Obs.metrics path;
+      Printf.printf "  registry -> %s\n%!" path)
+    protocols
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel) *)
 
 let micro () =
@@ -499,6 +575,7 @@ let sections =
     ("ablation-latency", ablation_latency);
     ("ablation-rbc", ablation_rbc);
     ("faults", faults);
+    ("metrics", metrics);
     ("micro", micro);
   ]
 

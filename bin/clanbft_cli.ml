@@ -57,7 +57,7 @@ let fault_flags =
 
 let sim_cmd =
   let run n protocol nc q load size duration warmup seed uniform crashed
-      fault_plan verbose =
+      fault_plan trace trace_chrome metrics_out verbose =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -80,6 +80,12 @@ let sim_cmd =
           Runner.Single_clan { nc }
       | `Multi -> Runner.Multi_clan { q }
     in
+    (* Tracing buffers every event; metrics alone skip the buffer. *)
+    let obs =
+      if trace <> None || trace_chrome <> None then Some (Obs.create ())
+      else if metrics_out <> None then Some (Obs.metrics_only ())
+      else None
+    in
     let spec =
       {
         Runner.default_spec with
@@ -93,6 +99,7 @@ let sim_cmd =
         topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
         crashed;
         fault_plan;
+        obs;
       }
     in
     let r = Runner.run spec in
@@ -101,6 +108,25 @@ let sim_cmd =
       "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
       r.committed_txns r.rounds r.leaders_committed
       (float_of_int r.bytes_total /. 1e6);
+    (match obs with
+    | None -> ()
+    | Some o ->
+        Option.iter
+          (fun path ->
+            Trace.write_jsonl o.Obs.trace path;
+            Format.printf "trace: %d events -> %s@." (Trace.length o.Obs.trace) path)
+          trace;
+        Option.iter
+          (fun path ->
+            Trace.write_chrome o.Obs.trace path;
+            Format.printf "chrome trace: %d events -> %s@."
+              (Trace.length o.Obs.trace) path)
+          trace_chrome;
+        Option.iter
+          (fun path ->
+            Metrics.write_json o.Obs.metrics path;
+            Format.printf "metrics -> %s@." path)
+          metrics_out);
     if not r.agreement then exit 1
   in
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
@@ -127,12 +153,31 @@ let sim_cmd =
   let crashed =
     Arg.(value & opt (list int) [] & info [ "crash" ] ~doc:"Replica ids that never start.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a structured event trace and write it as JSONL \
+                   (one JSON object per line; schema in docs/OBSERVABILITY.md).")
+  in
+  let trace_chrome =
+    Arg.(value & opt (some string) None
+         & info [ "trace-chrome" ] ~docv:"FILE"
+             ~doc:"Record a trace and write it in Chrome trace_event format \
+                   (load in chrome://tracing or ui.perfetto.dev).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Dump the metric registry (counters, gauges, histograms) \
+                   as JSON at the end of the run.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a simulated geo-distributed experiment")
     Term.(
       const run $ n $ protocol $ nc $ q $ load $ size $ duration $ warmup $ seed
-      $ uniform $ crashed $ fault_flags $ verbose)
+      $ uniform $ crashed $ fault_flags $ trace $ trace_chrome $ metrics_out
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* clan-size *)

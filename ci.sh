@@ -17,4 +17,29 @@ fi
 echo "== dune runtest =="
 dune runtest
 
+if command -v odoc >/dev/null 2>&1; then
+  echo "== odoc (warnings in lib/obs are fatal) =="
+  doc_log=$(mktemp)
+  dune build @doc 2>&1 | tee "$doc_log"
+  if grep -i "warning" "$doc_log" | grep -q "obs"; then
+    echo "odoc warnings in lib/obs"
+    rm -f "$doc_log"
+    exit 1
+  fi
+  rm -f "$doc_log"
+else
+  echo "== odoc skipped (odoc not installed) =="
+fi
+
+echo "== bench metrics smoke =="
+smoke_dir=$(mktemp -d)
+(cd "$smoke_dir" && CLANBFT_BENCH=quick dune exec --root "$OLDPWD" bench/main.exe -- metrics)
+for f in sailfish single-clan_nc_11_ multi-clan_q_2_; do
+  test -s "$smoke_dir/bench_metrics/$f.metrics.json" || {
+    echo "missing metrics dump: $f.metrics.json"
+    exit 1
+  }
+done
+rm -rf "$smoke_dir"
+
 echo "CI OK"

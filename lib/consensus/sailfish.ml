@@ -5,6 +5,9 @@ module Engine = Clanbft_sim.Engine
 module Net = Clanbft_sim.Net
 module Time = Clanbft_sim.Time
 module Store = Clanbft_dag.Store
+module Obs = Clanbft_obs.Obs
+module Metrics = Clanbft_obs.Metrics
+module Trace = Clanbft_obs.Trace
 
 let src_log = Logs.Src.create "clanbft.sailfish" ~doc:"Sailfish consensus"
 
@@ -52,6 +55,15 @@ type slot = {
 (* Collection of signature shares for timeout / no-vote certificates. *)
 type share_box = { signers : Bitset.t; mutable shares : (int * Keychain.signature) list }
 
+(* Observability handles, resolved once at construction so the hot paths
+   pay an integer add plus (for the trace) one enabled-branch. *)
+type obs_handles = {
+  o_trace : Trace.t;
+  o_pull_retries : Metrics.counter;
+  o_inserted : Metrics.counter;
+  o_committed : Metrics.counter;
+}
+
 type t = {
   me : int;
   config : Config.t;
@@ -59,6 +71,7 @@ type t = {
   engine : Engine.t;
   net : Msg.t Net.t;
   params : params;
+  obsh : obs_handles;
   store : Store.t;
   make_block : round:int -> Transaction.t array;
   on_commit : leader:Vertex.t -> Vertex.t list -> unit;
@@ -95,6 +108,12 @@ let committed_count t = t.ordered_total
 let dag_size t = Store.size t.store
 let quorum t = Config.quorum t.config
 let leader_of t round = Config.leader_of_round t.config round
+
+let trace_phase t ~sender ~round phase =
+  let tr = t.obsh.o_trace in
+  if Trace.enabled tr then
+    Trace.emit tr ~ts:(Engine.now t.engine)
+      (Trace.Rbc_phase { node = t.me; sender; round; phase })
 
 let slot_of t ~round ~source =
   match Hashtbl.find_opt t.slots (round, source) with
@@ -228,6 +247,7 @@ and on_val t ~src (v : Vertex.t) block signature =
     && vertex_valid t v
   then begin
     let slot = slot_of t ~round:v.round ~source:v.source in
+    trace_phase t ~sender:v.source ~round:v.round Trace.Val;
     register_vote t v;
     if slot.vertex = None then begin
       (* If a certificate already landed (the cert can outrun a VAL stuck
@@ -269,6 +289,7 @@ and maybe_echo t slot =
         in
         if block_ok then begin
           slot.echoed <- true;
+          trace_phase t ~sender:v.source ~round:v.round Trace.Echo;
           let signature =
             Keychain.sign t.keychain ~signer:t.me
               (Msg.echo_signing_string ~round:v.round ~source:v.source v.digest)
@@ -346,6 +367,7 @@ and certified t slot digest =
   if not slot.delivered then begin
     slot.delivered <- true;
     slot.agreed <- Some digest;
+    trace_phase t ~sender:slot.s_source ~round:slot.s_round Trace.Cert;
     (* Discard an equivocator's non-certified copy. *)
     (match slot.vertex with
     | Some v when not (Digest32.equal v.digest digest) ->
@@ -383,6 +405,10 @@ and try_insert t (v : Vertex.t) =
 and insert t (v : Vertex.t) =
   Store.add t.store v;
   Hashtbl.remove t.pending (v.round, v.source);
+  Metrics.incr t.obsh.o_inserted;
+  if Trace.enabled t.obsh.o_trace then
+    Trace.emit t.obsh.o_trace ~ts:(Engine.now t.engine)
+      (Trace.Vertex_deliver { node = t.me; round = v.round; source = v.source });
   if not (Hashtbl.mem t.covered (v.round, v.source)) then
     Hashtbl.replace t.uncovered (v.round, v.source) v;
   (* A newly inserted vertex may unblock pending children. *)
@@ -443,6 +469,8 @@ and vertex_fetch_loop t slot candidates =
             slot.fetching_vertex <- false;
             if slot.vertex = None then fetch_vertex t slot)
     | target :: rest ->
+        Metrics.incr t.obsh.o_pull_retries;
+        trace_phase t ~sender:slot.s_source ~round:slot.s_round Trace.Pull_retry;
         Net.send t.net ~src:t.me ~dst:target
           (Msg.Vertex_request { round = slot.s_round; source = slot.s_source });
         Engine.schedule_after t.engine t.params.sync_retry (fun () ->
@@ -471,6 +499,8 @@ and block_fetch_loop t slot candidates =
             slot.fetching_block <- false;
             maybe_fetch_block t slot)
     | target :: rest ->
+        Metrics.incr t.obsh.o_pull_retries;
+        trace_phase t ~sender:slot.s_source ~round:slot.s_round Trace.Pull_retry;
         Net.send t.net ~src:t.me ~dst:target
           (Msg.Block_request { round = slot.s_round; source = slot.s_source });
         Engine.schedule_after t.engine t.params.sync_retry (fun () ->
@@ -615,9 +645,19 @@ and try_commit t =
           in
           List.iter
             (fun (v : Vertex.t) ->
-              Hashtbl.replace t.ordered (v.round, v.source) ())
+              Hashtbl.replace t.ordered (v.round, v.source) ();
+              if Trace.enabled t.obsh.o_trace then
+                Trace.emit t.obsh.o_trace ~ts:(Engine.now t.engine)
+                  (Trace.Vertex_commit
+                     {
+                       node = t.me;
+                       round = v.round;
+                       source = v.source;
+                       leader_round = l.round;
+                     }))
             history;
           t.ordered_total <- t.ordered_total + List.length history;
+          Metrics.add t.obsh.o_committed (List.length history);
           Log.debug (fun m ->
               m "node %d commits leader r%d (%d vertices)" t.me l.round
                 (List.length history));
@@ -879,7 +919,19 @@ let block_of t ~round ~source = Hashtbl.find_opt t.blocks (round, source)
 let vertex_of t ~round ~source = Store.find t.store ~round ~source
 
 let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
-    ~make_block ~on_commit ?(on_block = fun _ -> ()) () =
+    ?(obs = Obs.disabled) ~make_block ~on_commit ?(on_block = fun _ -> ()) () =
+  let node_label = [ ("node", string_of_int me) ] in
+  let obsh =
+    {
+      o_trace = obs.Obs.trace;
+      o_pull_retries =
+        Metrics.counter obs.Obs.metrics ~labels:node_label "sailfish_pull_retries";
+      o_inserted =
+        Metrics.counter obs.Obs.metrics ~labels:node_label "dag_vertices_inserted";
+      o_committed =
+        Metrics.counter obs.Obs.metrics ~labels:node_label "dag_vertices_committed";
+    }
+  in
   let t =
     {
       me;
@@ -888,6 +940,7 @@ let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
       engine;
       net;
       params;
+      obsh;
       store = Store.create ~n:(Config.n config);
       make_block;
       on_commit;

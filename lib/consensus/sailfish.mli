@@ -55,6 +55,7 @@ val create :
   engine:Clanbft_sim.Engine.t ->
   net:Msg.t Clanbft_sim.Net.t ->
   ?params:params ->
+  ?obs:Clanbft_obs.Obs.t ->
   make_block:(round:int -> Transaction.t array) ->
   on_commit:(leader:Vertex.t -> Vertex.t list -> unit) ->
   ?on_block:(Block.t -> unit) ->
@@ -65,7 +66,15 @@ val create :
     proposes a block in. [on_commit] receives each newly committed leader
     and its newly ordered causal history (ascending (round, source)) —
     the a_deliver stream. [on_block] fires whenever a block this node
-    stores becomes locally available (dissemination or pull). *)
+    stores becomes locally available (dissemination or pull).
+
+    [obs] (default {!Clanbft_obs.Obs.disabled}) receives RBC phase
+    transitions (VAL accepted / ECHO sent / certificate), vertex
+    deliveries and commits as trace events, and maintains the per-node
+    counters [sailfish_pull_retries{node}], [dag_vertices_inserted{node}]
+    and [dag_vertices_committed{node}]. Tracing never perturbs the run:
+    with the same seed, a traced and an untraced run commit bit-identical
+    sequences. *)
 
 val start : t -> unit
 (** Propose the round-0 vertex and arm the first timer. *)

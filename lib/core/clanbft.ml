@@ -40,6 +40,12 @@ module Sim = struct
   module Net = Clanbft_sim.Net
 end
 
+(** {1 Observability (structured tracing + metric registry)} *)
+
+module Obs = Clanbft_obs.Obs
+module Trace = Clanbft_obs.Trace
+module Metrics = Clanbft_obs.Metrics
+
 (** {1 Committee analysis (paper §5 / §6.2)} *)
 
 module Committee = Clanbft_committee.Analysis

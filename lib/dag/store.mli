@@ -1,22 +1,50 @@
 (** A node's local copy of the DAG.
 
-    Invariant: a vertex is inserted only after all its parents (strong and
-    weak edges) are present — the consensus layer buffers out-of-order
-    arrivals — so every reachability query here runs on a closed sub-DAG.
-    One slot (round, source) holds at most one vertex; the RBC layer
-    guarantees conflicting vertices never both deliver. *)
+    The store is a map from slots — (round, source) pairs — to delivered
+    vertices, plus the traversals the Sailfish commit rules need:
+    strong-path reachability ({!strong_path}, the indirect-commit test) and
+    deterministic causal-history linearisation ({!causal_history}, the
+    ordering step).
+
+    {2 Invariants}
+
+    - {b Closure}: a vertex is inserted only after all its parents (strong
+      and weak edges) are present — the consensus layer buffers
+      out-of-order arrivals behind {!missing_parents} — so every
+      reachability query runs on a closed sub-DAG and needs no
+      missing-edge handling.
+    - {b Slot uniqueness}: one slot holds at most one vertex; the RBC layer
+      guarantees conflicting vertices never both deliver, and {!add}
+      rejects a second, different vertex for an occupied slot.
+    - {b GC horizon}: {!prune_below} discards ordered rounds; references
+      below the horizon count as present ({!missing_parents}) because
+      their subtree was already ordered and collected.
+
+    Rounds are dense small integers, so per-round storage is an array of
+    [n] options: slot lookup is O(1), {!vertices_at} is O(n). Observability
+    of insertions/commits lives one layer up (see
+    {!Clanbft_consensus.Sailfish} and [docs/OBSERVABILITY.md] —
+    [dag_vertices_inserted], [dag_vertices_committed],
+    [vertex_deliver]/[vertex_commit] trace events). *)
 
 open Clanbft_types
 
 type t
 
 val create : n:int -> t
+(** An empty DAG for a tribe of [n] parties (sources range over
+    [0 .. n-1]). *)
+
 val n : t -> int
 
 val add : t -> Vertex.t -> unit
-(** Raises [Invalid_argument] if the slot is already occupied by a
-    different vertex or a parent is missing. Idempotent for the identical
-    vertex. *)
+(** Insert a vertex whose parents are all present. Idempotent for the
+    identical vertex.
+
+    @raise Invalid_argument if the slot is already occupied by a
+    {e different} vertex (an equivocation that RBC should have prevented)
+    or a parent is missing (caller failed to consult
+    {!missing_parents}). *)
 
 val mem : t -> round:int -> source:int -> bool
 val find : t -> round:int -> source:int -> Vertex.t option
@@ -37,7 +65,9 @@ val count_at : t -> int -> int
 
 val strong_path : t -> Vertex.t -> round:int -> source:int -> bool
 (** Is (round, source) reachable from the given vertex following strong
-    edges only? (Used for the indirect leader-commit rule.) *)
+    edges only? (Used for the indirect leader-commit rule.) Walks
+    backwards round by round, visiting each slot at most once:
+    O(vertices between the two rounds). *)
 
 val causal_history :
   t -> Vertex.t -> skip:(round:int -> source:int -> bool) -> Vertex.t list

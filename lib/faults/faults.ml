@@ -2,6 +2,8 @@ module Engine = Clanbft_sim.Engine
 module Net = Clanbft_sim.Net
 module Time = Clanbft_sim.Time
 module Rng = Clanbft_util.Rng
+module Obs = Clanbft_obs.Obs
+module Trace = Clanbft_obs.Trace
 
 type selector = All | Only of int list | Except of int list
 
@@ -68,8 +70,17 @@ let severed p src dst =
   | _ -> false
 
 let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> None)
-    plan =
+    ?(obs = Obs.disabled) plan =
   let t = { examined = 0; dropped = 0; delayed = 0; duplicated = 0 } in
+  let tr = obs.Obs.trace in
+  (* [rule = -1] marks mute/partition firings, which live outside the rule
+     list. Fires are emitted only when a rule actually bites (a
+     probabilistic drop that lets the message through is not a firing). *)
+  let fire ~rule ~action ~kind ~src ~dst =
+    if Trace.enabled tr then
+      Trace.emit tr ~ts:(Engine.now engine)
+        (Trace.Fault_fire { rule; action; kind; src; dst })
+  in
   (* Delayed/duplicated traffic is re-injected through Net.send, which calls
      the filter again; the flag lets those copies through untouched. *)
   let reinjecting = ref false in
@@ -109,6 +120,7 @@ let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> No
         in
         if muted then begin
           t.dropped <- t.dropped + 1;
+          fire ~rule:(-1) ~action:"mute" ~kind:(classify msg) ~src ~dst;
           false
         end
         else
@@ -118,23 +130,30 @@ let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> No
                  rather than destroying it — buffered copies flow when the
                  partition heals (the GST of the scenario). *)
               t.delayed <- t.delayed + 1;
+              fire ~rule:(-1) ~action:"partition_delay" ~kind:(classify msg) ~src ~dst;
               Engine.schedule_after engine (p.heal_at - now) (resend ~src ~dst msg);
               false
           | Some _ ->
               (* A partition that never heals is a permanent link cut. *)
               t.dropped <- t.dropped + 1;
+              fire ~rule:(-1) ~action:"partition_drop" ~kind:(classify msg) ~src ~dst;
               false
           | None -> (
               let kind = classify msg in
-              match
-                List.find_opt (matches ~now ~round ~kind ~src ~dst) plan.rules
-              with
+              let rec find_rule i = function
+                | [] -> None
+                | r :: rest ->
+                    if matches ~now ~round ~kind ~src ~dst r then Some (i, r)
+                    else find_rule (i + 1) rest
+              in
+              match find_rule 0 plan.rules with
               | None -> true
-              | Some r -> (
+              | Some (idx, r) -> (
                   match r.action with
                   | Drop p ->
                       if p >= 1.0 || (p > 0.0 && Rng.float rng 1.0 < p) then begin
                         t.dropped <- t.dropped + 1;
+                        fire ~rule:idx ~action:"drop" ~kind ~src ~dst;
                         false
                       end
                       else true
@@ -143,11 +162,13 @@ let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> No
                         min + if max > min then Rng.int rng (max - min + 1) else 0
                       in
                       t.delayed <- t.delayed + 1;
+                      fire ~rule:idx ~action:"delay" ~kind ~src ~dst;
                       Engine.schedule_after engine (Stdlib.max 0 extra)
                         (resend ~src ~dst msg);
                       false
                   | Duplicate k ->
                       t.duplicated <- t.duplicated + k;
+                      fire ~rule:idx ~action:"dup" ~kind ~src ~dst;
                       for _ = 1 to k do
                         Engine.schedule_after engine 0 (resend ~src ~dst msg)
                       done;

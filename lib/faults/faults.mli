@@ -95,12 +95,20 @@ val install :
   rng:Clanbft_util.Rng.t ->
   ?classify:('msg -> string) ->
   ?round_of:('msg -> int option) ->
+  ?obs:Clanbft_obs.Obs.t ->
   plan ->
   'msg t
 (** Compiles [plan] and installs it as the net's filter (replacing any
     previous filter). Delayed and duplicated messages are re-injected
     through {!Net.send} — they pay serialization again, like a real
-    retransmission — and bypass the filter on re-entry. *)
+    retransmission — and bypass the filter on re-entry.
+
+    With a tracing [obs], every rule that {e bites} emits a
+    {!Clanbft_obs.Trace.Fault_fire} event carrying the rule's index in
+    [plan.rules] (or [-1] for mute and partition firings) and the action
+    taken (["drop"], ["delay"], ["dup"], ["mute"], ["partition_delay"],
+    ["partition_drop"]). A probabilistic drop that lets the message
+    through does not fire. *)
 
 val examined : _ t -> int
 val dropped : _ t -> int

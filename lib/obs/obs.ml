@@ -1,0 +1,14 @@
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.registry;
+}
+
+let disabled = { trace = Trace.null; metrics = Metrics.create_registry () }
+
+let create ?trace_limit () =
+  { trace = Trace.create ?limit:trace_limit (); metrics = Metrics.create_registry () }
+
+let metrics_only () =
+  { trace = Trace.null; metrics = Metrics.create_registry () }
+
+let tracing t = Trace.enabled t.trace

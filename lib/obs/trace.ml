@@ -1,0 +1,333 @@
+type phase = Val | Echo | Ready | Cert | Deliver | Pull_retry
+
+let phase_name = function
+  | Val -> "val"
+  | Echo -> "echo"
+  | Ready -> "ready"
+  | Cert -> "cert"
+  | Deliver -> "deliver"
+  | Pull_retry -> "pull_retry"
+
+let phase_of_name = function
+  | "val" -> Some Val
+  | "echo" -> Some Echo
+  | "ready" -> Some Ready
+  | "cert" -> Some Cert
+  | "deliver" -> Some Deliver
+  | "pull_retry" -> Some Pull_retry
+  | _ -> None
+
+type event =
+  | Msg_send of { src : int; dst : int; kind : string; bytes : int }
+  | Msg_recv of { src : int; dst : int; kind : string; bytes : int }
+  | Uplink of {
+      node : int;
+      kind : string;
+      bytes : int;
+      enqueued : int;
+      start : int;
+      depart : int;
+    }
+  | Rbc_phase of { node : int; sender : int; round : int; phase : phase }
+  | Vertex_deliver of { node : int; round : int; source : int }
+  | Vertex_commit of { node : int; round : int; source : int; leader_round : int }
+  | Fault_fire of { rule : int; action : string; kind : string; src : int; dst : int }
+
+type record = { ts : int; ev : event }
+
+type t =
+  | Null
+  | Sink of {
+      mutable records : record array;
+      mutable len : int;
+      limit : int; (* max_int when unbounded *)
+      mutable dropped : int;
+    }
+
+let null = Null
+
+let dummy = { ts = 0; ev = Vertex_deliver { node = 0; round = 0; source = 0 } }
+
+let create ?(limit = max_int) () =
+  if limit < 0 then invalid_arg "Trace.create: negative limit";
+  Sink { records = Array.make 1024 dummy; len = 0; limit; dropped = 0 }
+
+let enabled = function Null -> false | Sink _ -> true
+
+let emit t ~ts ev =
+  match t with
+  | Null -> ()
+  | Sink s ->
+      if s.len >= s.limit then s.dropped <- s.dropped + 1
+      else begin
+        if s.len = Array.length s.records then begin
+          let bigger = Array.make (2 * s.len) dummy in
+          Array.blit s.records 0 bigger 0 s.len;
+          s.records <- bigger
+        end;
+        s.records.(s.len) <- { ts; ev };
+        s.len <- s.len + 1
+      end
+
+let length = function Null -> 0 | Sink s -> s.len
+let dropped = function Null -> 0 | Sink s -> s.dropped
+
+let iter t f =
+  match t with
+  | Null -> ()
+  | Sink s ->
+      for i = 0 to s.len - 1 do
+        f s.records.(i)
+      done
+
+let records t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* JSONL *)
+
+let escape s =
+  (* Message tags and action names are plain ASCII identifiers, but escape
+     defensively so arbitrary kinds cannot corrupt the stream. *)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jsonl_of_record { ts; ev } =
+  match ev with
+  | Msg_send { src; dst; kind; bytes } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"msg_send","src":%d,"dst":%d,"kind":"%s","bytes":%d}|}
+        ts src dst (escape kind) bytes
+  | Msg_recv { src; dst; kind; bytes } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"msg_recv","src":%d,"dst":%d,"kind":"%s","bytes":%d}|}
+        ts src dst (escape kind) bytes
+  | Uplink { node; kind; bytes; enqueued; start; depart } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"uplink","node":%d,"kind":"%s","bytes":%d,"enqueued":%d,"start":%d,"depart":%d}|}
+        ts node (escape kind) bytes enqueued start depart
+  | Rbc_phase { node; sender; round; phase } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"rbc_phase","node":%d,"sender":%d,"round":%d,"phase":"%s"}|}
+        ts node sender round (phase_name phase)
+  | Vertex_deliver { node; round; source } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"vertex_deliver","node":%d,"round":%d,"source":%d}|}
+        ts node round source
+  | Vertex_commit { node; round; source; leader_round } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"vertex_commit","node":%d,"round":%d,"source":%d,"leader_round":%d}|}
+        ts node round source leader_round
+  | Fault_fire { rule; action; kind; src; dst } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"fault_fire","rule":%d,"action":"%s","kind":"%s","src":%d,"dst":%d}|}
+        ts rule (escape action) (escape kind) src dst
+
+(* --- parsing our own output back ----------------------------------- *)
+
+(* Locate ["key":] and return the index just past the colon. *)
+let field_start line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec scan i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else scan (i + 1)
+  in
+  scan 0
+
+let int_field line key =
+  match field_start line key with
+  | None -> None
+  | Some i ->
+      let llen = String.length line in
+      let stop = ref i in
+      if !stop < llen && line.[!stop] = '-' then incr stop;
+      while !stop < llen && line.[!stop] >= '0' && line.[!stop] <= '9' do
+        incr stop
+      done;
+      if !stop = i then None else int_of_string_opt (String.sub line i (!stop - i))
+
+let str_field line key =
+  match field_start line key with
+  | None -> None
+  | Some i ->
+      let llen = String.length line in
+      if i >= llen || line.[i] <> '"' then None
+      else begin
+        let b = Buffer.create 16 in
+        let rec go j =
+          if j >= llen then None
+          else
+            match line.[j] with
+            | '"' -> Some (Buffer.contents b)
+            | '\\' when j + 1 < llen ->
+                (match line.[j + 1] with
+                | '"' -> Buffer.add_char b '"'
+                | '\\' -> Buffer.add_char b '\\'
+                | 'n' -> Buffer.add_char b '\n'
+                | 'u' ->
+                    if j + 5 < llen then
+                      Buffer.add_char b
+                        (Char.chr
+                           (int_of_string ("0x" ^ String.sub line (j + 2) 4)))
+                | c -> Buffer.add_char b c);
+                go (j + if line.[j + 1] = 'u' then 6 else 2)
+            | c ->
+                Buffer.add_char b c;
+                go (j + 1)
+        in
+        go (i + 1)
+      end
+
+let of_jsonl_line line =
+  let ( let* ) o f = Option.bind o f in
+  let* ts = int_field line "ts" in
+  let* typ = str_field line "type" in
+  let* ev =
+    match typ with
+    | "msg_send" | "msg_recv" ->
+        let* src = int_field line "src" in
+        let* dst = int_field line "dst" in
+        let* kind = str_field line "kind" in
+        let* bytes = int_field line "bytes" in
+        Some
+          (if typ = "msg_send" then Msg_send { src; dst; kind; bytes }
+           else Msg_recv { src; dst; kind; bytes })
+    | "uplink" ->
+        let* node = int_field line "node" in
+        let* kind = str_field line "kind" in
+        let* bytes = int_field line "bytes" in
+        let* enqueued = int_field line "enqueued" in
+        let* start = int_field line "start" in
+        let* depart = int_field line "depart" in
+        Some (Uplink { node; kind; bytes; enqueued; start; depart })
+    | "rbc_phase" ->
+        let* node = int_field line "node" in
+        let* sender = int_field line "sender" in
+        let* round = int_field line "round" in
+        let* phase = Option.bind (str_field line "phase") phase_of_name in
+        Some (Rbc_phase { node; sender; round; phase })
+    | "vertex_deliver" ->
+        let* node = int_field line "node" in
+        let* round = int_field line "round" in
+        let* source = int_field line "source" in
+        Some (Vertex_deliver { node; round; source })
+    | "vertex_commit" ->
+        let* node = int_field line "node" in
+        let* round = int_field line "round" in
+        let* source = int_field line "source" in
+        let* leader_round = int_field line "leader_round" in
+        Some (Vertex_commit { node; round; source; leader_round })
+    | "fault_fire" ->
+        let* rule = int_field line "rule" in
+        let* action = str_field line "action" in
+        let* kind = str_field line "kind" in
+        let* src = int_field line "src" in
+        let* dst = int_field line "dst" in
+        Some (Fault_fire { rule; action; kind; src; dst })
+    | _ -> None
+  in
+  Some { ts; ev }
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      iter t (fun r ->
+          output_string oc (jsonl_of_record r);
+          output_char oc '\n'))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event *)
+
+let chrome_instant b ~name ~cat ~ts ~pid ~tid ~args =
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{%s}},|}
+       (escape name) cat ts pid tid args)
+
+let write_chrome t path =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b {|{"traceEvents":[|};
+  let pids = Hashtbl.create 64 in
+  let note_pid p =
+    if not (Hashtbl.mem pids p) then begin
+      Hashtbl.replace pids p ();
+      Buffer.add_string b
+        (Printf.sprintf
+           {|{"name":"process_name","ph":"M","pid":%d,"args":{"name":"node %d"}},|}
+           p p)
+    end
+  in
+  iter t (fun { ts; ev } ->
+      match ev with
+      | Msg_send { src; dst; kind; bytes } ->
+          note_pid src;
+          chrome_instant b ~name:("send " ^ kind) ~cat:"net" ~ts ~pid:src ~tid:0
+            ~args:(Printf.sprintf {|"dst":%d,"bytes":%d|} dst bytes)
+      | Msg_recv { src; dst; kind; bytes } ->
+          note_pid dst;
+          chrome_instant b ~name:("recv " ^ kind) ~cat:"net" ~ts ~pid:dst ~tid:0
+            ~args:(Printf.sprintf {|"src":%d,"bytes":%d|} src bytes)
+      | Uplink { node; kind; bytes; enqueued; start; depart } ->
+          note_pid node;
+          Buffer.add_string b
+            (Printf.sprintf
+               {|{"name":"%s","cat":"uplink","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":1,"args":{"bytes":%d,"queued_us":%d}},|}
+               (escape kind) start
+               (max 0 (depart - start))
+               node bytes
+               (max 0 (start - enqueued)))
+      | Rbc_phase { node; sender; round; phase } ->
+          note_pid node;
+          chrome_instant b
+            ~name:(Printf.sprintf "rbc %s r%d/s%d" (phase_name phase) round sender)
+            ~cat:"rbc" ~ts ~pid:node ~tid:2
+            ~args:(Printf.sprintf {|"sender":%d,"round":%d|} sender round)
+      | Vertex_deliver { node; round; source } ->
+          note_pid node;
+          chrome_instant b
+            ~name:(Printf.sprintf "deliver r%d/s%d" round source)
+            ~cat:"dag" ~ts ~pid:node ~tid:3
+            ~args:(Printf.sprintf {|"round":%d,"source":%d|} round source)
+      | Vertex_commit { node; round; source; leader_round } ->
+          note_pid node;
+          chrome_instant b
+            ~name:(Printf.sprintf "commit r%d/s%d" round source)
+            ~cat:"dag" ~ts ~pid:node ~tid:3
+            ~args:
+              (Printf.sprintf {|"round":%d,"source":%d,"leader_round":%d|} round
+                 source leader_round)
+      | Fault_fire { rule; action; kind; src; dst } ->
+          note_pid src;
+          chrome_instant b
+            ~name:(Printf.sprintf "fault %s %s" action kind)
+            ~cat:"fault" ~ts ~pid:src ~tid:4
+            ~args:(Printf.sprintf {|"rule":%d,"dst":%d|} rule dst));
+  (* Drop the trailing comma when any event was written. *)
+  let s = Buffer.contents b in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = ',' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc s;
+      output_string oc {|],"displayTimeUnit":"ms"}|})

@@ -1,0 +1,131 @@
+(** Structured protocol tracing.
+
+    A {!t} is a sink of typed, timestamped {!event}s emitted from inside the
+    protocol stack: message sends and receipts with wire sizes, uplink-queue
+    occupancy spans, RBC phase transitions (VAL/ECHO/READY/certificate/
+    deliver/pull-retry), DAG vertex delivery and commit, and fault-injection
+    rule firings. Timestamps are the simulation engine's integer
+    microseconds ({!Clanbft_sim.Time.t} is [int]; this library sits below
+    [clanbft.sim], so plain [int] is used here).
+
+    {2 Zero cost when disabled}
+
+    The {!null} sink reports [enabled = false] and every instrumented call
+    site guards event {e construction} behind {!enabled}:
+
+    {[
+      if Trace.enabled tr then
+        Trace.emit tr ~ts:(Engine.now engine) (Trace.Msg_send { ... })
+    ]}
+
+    so a disabled run allocates nothing and executes one branch per
+    potential event. Recording never draws randomness and never schedules
+    engine events, which preserves the simulator's bit-exact determinism:
+    a benign run commits the identical sequence with tracing on or off
+    (asserted by [test/test_obs.ml]).
+
+    {2 Export formats}
+
+    - {!write_jsonl}: one self-describing JSON object per line (the schema
+      is documented in [docs/OBSERVABILITY.md], and {!of_jsonl_line} parses
+      it back);
+    - {!write_chrome}: the Chrome [trace_event] JSON-array format — load
+      the file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}
+      for a per-node flame view (uplink busy spans are rendered as complete
+      ["X"] events; everything else as instants). *)
+
+(** RBC / dissemination phase of an {!event}. [Ready] only occurs in the
+    Bracha-family standalone protocols; the merged Sailfish instance goes
+    VAL → ECHO → CERT. [Pull_retry] marks every (re-)issued pull request
+    for a missing value, block or vertex — the off-critical-path recovery
+    traffic. *)
+type phase = Val | Echo | Ready | Cert | Deliver | Pull_retry
+
+val phase_name : phase -> string
+(** Lower-case wire name, e.g. ["pull_retry"]. *)
+
+val phase_of_name : string -> phase option
+
+(** One traced occurrence. All node/peer ids are tribe indices; [kind] is
+    the wire-message tag ({!Clanbft_types.Msg.tag} / [Rbc.msg_tag]);
+    [bytes] includes the per-message transport overhead. *)
+type event =
+  | Msg_send of { src : int; dst : int; kind : string; bytes : int }
+      (** Enqueued on [src]'s uplink (or the loopback path). *)
+  | Msg_recv of { src : int; dst : int; kind : string; bytes : int }
+      (** Delivered to [dst]'s handler; the record's [ts] is arrival time. *)
+  | Uplink of {
+      node : int;
+      kind : string;
+      bytes : int;
+      enqueued : int;  (** when the message entered the uplink queue *)
+      start : int;  (** when its serialization began (queue exit) *)
+      depart : int;  (** when the last byte left the NIC *)
+    }
+      (** One uplink-queue occupancy span. [start - enqueued] is queueing
+          delay, [depart - start] the serialization time; the record's [ts]
+          equals [enqueued]. *)
+  | Rbc_phase of { node : int; sender : int; round : int; phase : phase }
+      (** [node]'s local instance for ([sender], [round]) crossed [phase]. *)
+  | Vertex_deliver of { node : int; round : int; source : int }
+      (** The vertex entered [node]'s DAG store (all parents present). *)
+  | Vertex_commit of {
+      node : int;
+      round : int;
+      source : int;
+      leader_round : int;  (** the committed leader that ordered it *)
+    }
+  | Fault_fire of {
+      rule : int;  (** index into the fault plan's rule list *)
+      action : string;  (** ["drop"], ["delay"] or ["dup"] *)
+      kind : string;
+      src : int;
+      dst : int;
+    }
+
+type record = { ts : int; ev : event }
+
+type t
+(** An event sink: either {!null} or an in-memory buffer. *)
+
+val null : t
+(** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
+
+val create : ?limit:int -> unit -> t
+(** A recording sink. [limit] caps the number of retained records (default
+    unbounded); past the cap, new events are counted in {!dropped} and
+    discarded — the run itself is never perturbed. *)
+
+val enabled : t -> bool
+(** Call sites must check this {e before} allocating an event. *)
+
+val emit : t -> ts:int -> event -> unit
+val length : t -> int
+val dropped : t -> int
+
+val iter : t -> (record -> unit) -> unit
+(** In emission order. Records emitted from the same engine callback share
+    a timestamp; [Uplink] records carry a future [depart]. *)
+
+val records : t -> record list
+
+(** {1 JSONL} *)
+
+val jsonl_of_record : record -> string
+(** One JSON object, no trailing newline. *)
+
+val of_jsonl_line : string -> record option
+(** Inverse of {!jsonl_of_record} (round-trip is exact for every variant);
+    [None] on unknown or malformed lines. This is a minimal parser for the
+    writer's own output, not a general JSON parser. *)
+
+val write_jsonl : t -> string -> unit
+(** Write every record to [path], one per line. *)
+
+(** {1 Chrome trace_event} *)
+
+val write_chrome : t -> string -> unit
+(** Write a [{"traceEvents": [...]}] JSON document: process ids are node
+    ids (with name metadata), uplink spans are ["X"] duration events on a
+    dedicated track, everything else instant events with their payload
+    under ["args"]. *)

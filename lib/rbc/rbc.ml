@@ -2,6 +2,9 @@ open Clanbft_crypto
 module Bitset = Clanbft_util.Bitset
 module Engine = Clanbft_sim.Engine
 module Net = Clanbft_sim.Net
+module Obs = Clanbft_obs.Obs
+module Metrics = Clanbft_obs.Metrics
+module Trace = Clanbft_obs.Trace
 
 type protocol = Bracha | Signed_two_round | Tribe_bracha | Tribe_signed
 
@@ -121,6 +124,8 @@ type node = {
   pull_budget : int;
   on_deliver : sender:int -> round:int -> outcome -> unit;
   instances : (int * int, instance) Hashtbl.t;
+  obs_trace : Trace.t;
+  pull_retries : Metrics.counter;
 }
 
 let quorum t = (2 * t.f) + 1
@@ -133,9 +138,15 @@ let in_clan t i =
    non-tribe protocols everyone does. *)
 let entitled_to_value t = in_clan t t.me
 
+let trace_phase t inst phase =
+  if Trace.enabled t.obs_trace then
+    Trace.emit t.obs_trace ~ts:(Engine.now t.engine)
+      (Trace.Rbc_phase
+         { node = t.me; sender = inst.sender; round = inst.round; phase })
+
 let rec create ~me ~n ?f ?clan ~protocol ~engine ~net ~keychain
-    ?(pull_retry = Clanbft_sim.Time.ms 200.) ?(pull_budget = 8) ~on_deliver ()
-    =
+    ?(pull_retry = Clanbft_sim.Time.ms 200.) ?(pull_budget = 8)
+    ?(obs = Obs.disabled) ~on_deliver () =
   let f = match f with Some f -> f | None -> (n - 1) / 3 in
   if f < 0 || (3 * f) + 1 > n then invalid_arg "Rbc.create: need n >= 3f+1";
   let clan_set, clan_quorum =
@@ -164,6 +175,11 @@ let rec create ~me ~n ?f ?clan ~protocol ~engine ~net ~keychain
       pull_budget;
       on_deliver;
       instances = Hashtbl.create 64;
+      obs_trace = obs.Obs.trace;
+      pull_retries =
+        Metrics.counter obs.Obs.metrics
+          ~labels:[ ("node", string_of_int me) ]
+          "rbc_pull_retries";
     }
   in
   Net.set_handler net me (fun ~src m -> handle t ~src m);
@@ -207,6 +223,7 @@ and votes_of tbl digest =
 and send_echo t inst digest =
   if not inst.sent_echo then begin
     inst.sent_echo <- true;
+    trace_phase t inst Trace.Echo;
     let signature =
       if is_signed t.protocol then
         Some
@@ -222,6 +239,7 @@ and send_echo t inst digest =
 and send_ready t inst digest =
   if not inst.sent_ready then begin
     inst.sent_ready <- true;
+    trace_phase t inst Trace.Ready;
     let signature =
       (* READY only exists in the Bracha-style protocols, which are
          signature-free. *)
@@ -235,6 +253,7 @@ and send_ready t inst digest =
 and deliver t inst outcome =
   if inst.delivered = None then begin
     inst.delivered <- Some outcome;
+    trace_phase t inst Trace.Deliver;
     t.on_deliver ~sender:inst.sender ~round:inst.round outcome
   end
 
@@ -273,6 +292,8 @@ and pull_next t inst digest =
     match inst.pull_candidates with
     | target :: rest ->
         inst.pull_candidates <- rest;
+        Metrics.incr t.pull_retries;
+        trace_phase t inst Trace.Pull_retry;
         Net.send t.net ~src:t.me ~dst:target
           (Pull_request { sender = inst.sender; round = inst.round });
         Engine.schedule_after t.engine t.pull_retry (fun () ->
@@ -292,6 +313,7 @@ and pull_next t inst digest =
 
 and try_deliver t inst digest =
   if inst.delivered = None then begin
+    if inst.agreed = None then trace_phase t inst Trace.Cert;
     inst.agreed <- Some digest;
     if entitled_to_value t then begin
       match inst.value with
@@ -422,10 +444,17 @@ and handle t ~src m =
   | Val { sender; round; value } ->
       (* The VAL must come from its claimed sender (authenticated
          channels); anything else is discarded. *)
-      if src = sender then handle_val t (instance_of t ~sender ~round) value
+      if src = sender then begin
+        let inst = instance_of t ~sender ~round in
+        trace_phase t inst Trace.Val;
+        handle_val t inst value
+      end
   | Val_digest { sender; round; digest } ->
-      if src = sender then
-        handle_val_digest t (instance_of t ~sender ~round) digest
+      if src = sender then begin
+        let inst = instance_of t ~sender ~round in
+        trace_phase t inst Trace.Val;
+        handle_val_digest t inst digest
+      end
   | Echo { sender; round; digest; signer; signature } ->
       if src = signer then
         handle_echo t (instance_of t ~sender ~round) ~digest ~signer ~signature

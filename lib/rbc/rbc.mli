@@ -92,6 +92,7 @@ val create :
   keychain:Keychain.t ->
   ?pull_retry:Clanbft_sim.Time.span ->
   ?pull_budget:int ->
+  ?obs:Clanbft_obs.Obs.t ->
   on_deliver:(sender:int -> round:int -> outcome -> unit) ->
   unit ->
   node
@@ -104,7 +105,12 @@ val create :
     voters, then READY voters, then every other clan member, retrying one
     peer per [pull_retry]; exhausted sweeps restart under exponential
     backoff (capped at 16 x [pull_retry]) until delivery, so transient loss
-    or Byzantine non-repliers cannot stall a clan member forever. *)
+    or Byzantine non-repliers cannot stall a clan member forever.
+
+    [obs] (default {!Clanbft_obs.Obs.disabled}) records every phase
+    transition of every instance as {!Clanbft_obs.Trace.Rbc_phase} events
+    (VAL received, ECHO/READY sent, digest certified, delivered, each pull
+    retry) and counts pull retries in [rbc_pull_retries{node}]. *)
 
 val broadcast : node -> round:int -> string -> unit
 (** r_bcast: disseminate a value as the designated sender. *)

@@ -1,4 +1,8 @@
 module Rng = Clanbft_util.Rng
+module Obs = Clanbft_obs.Obs
+module Metrics = Clanbft_obs.Metrics
+module Trace = Clanbft_obs.Trace
+module Stats = Clanbft_util.Stats
 
 type config = {
   uplink_gbps : float;
@@ -23,55 +27,104 @@ let default_config =
     local_delivery = 20;
   }
 
+(* Per-kind instruments, resolved once per kind string and cached so the
+   per-send cost is one hashtable probe (the registry lookup allocates a
+   label list; this cache avoids that on the hot path). *)
+type kind_handles = { k_bytes : Metrics.counter; k_msgs : Metrics.counter }
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
   config : config;
   size : 'msg -> int;
+  kind : 'msg -> string;
   rng : Rng.t;
+  obs : Obs.t;
   handlers : (src:int -> 'msg -> unit) array;
   uplink_free : Time.t array; (* when each node's uplink next idles *)
   mutable filter : src:int -> dst:int -> 'msg -> bool;
-  bytes_sent : int array;
-  bytes_received : int array;
-  messages_sent : int array;
-  mutable total_bytes : int;
-  mutable total_messages : int;
+  (* Registry-backed counters (the former bespoke int arrays): handles are
+     resolved at construction, so updates cost the same integer add. *)
+  bytes_sent : Metrics.counter array;
+  bytes_received : Metrics.counter array;
+  messages_sent : Metrics.counter array;
+  total_bytes : Metrics.counter;
+  total_messages : Metrics.counter;
+  by_kind : (string, kind_handles) Hashtbl.t;
+  uplink_backlog : Metrics.histogram; (* µs of queued serialization work *)
+  uplink_busy : Metrics.counter; (* total µs the uplinks spent serializing *)
 }
 
 let no_handler ~src:_ _ =
   failwith "Net: message delivered to a node with no handler installed"
 
-let create ~engine ~topology ~config ~size ~rng () =
+let create ~engine ~topology ~config ~size ?(kind = fun _ -> "msg") ?obs ~rng () =
   let n = Topology.n topology in
+  (* Each net gets its own registry unless the caller shares one: the
+     byte/message accessors below read these counters, so two nets must
+     never alias. *)
+  let obs = match obs with Some o -> o | None -> Obs.metrics_only () in
+  let reg = obs.Obs.metrics in
+  let per_node name =
+    Array.init n (fun i ->
+        Metrics.counter reg ~labels:[ ("node", string_of_int i) ] name)
+  in
   {
     engine;
     topology;
     config;
     size;
+    kind;
     rng;
+    obs;
     handlers = Array.make n no_handler;
     uplink_free = Array.make n 0;
     filter = (fun ~src:_ ~dst:_ _ -> true);
-    bytes_sent = Array.make n 0;
-    bytes_received = Array.make n 0;
-    messages_sent = Array.make n 0;
-    total_bytes = 0;
-    total_messages = 0;
+    bytes_sent = per_node "net_bytes_sent";
+    bytes_received = per_node "net_bytes_received";
+    messages_sent = per_node "net_messages_sent";
+    total_bytes = Metrics.counter reg "net_bytes_total";
+    total_messages = Metrics.counter reg "net_messages_total";
+    by_kind = Hashtbl.create 16;
+    uplink_backlog =
+      Metrics.histogram reg ~buckets:Stats.Histogram.size_buckets
+        "uplink_backlog_us";
+    uplink_busy = Metrics.counter reg "uplink_busy_us_total";
   }
 
 let n t = Topology.n t.topology
 let set_handler t i fn = t.handlers.(i) <- fn
 let set_filter t f = t.filter <- f
+let obs t = t.obs
+let registry t = t.obs.Obs.metrics
+
+let kind_handles t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some h -> h
+  | None ->
+      let reg = t.obs.Obs.metrics in
+      let h =
+        {
+          k_bytes = Metrics.counter reg ~labels:[ ("kind", kind) ] "net_bytes_by_kind";
+          k_msgs = Metrics.counter reg ~labels:[ ("kind", kind) ] "net_messages_by_kind";
+        }
+      in
+      Hashtbl.replace t.by_kind kind h;
+      h
 
 (* Serialization delay in µs for [bytes] at [gbps]:
    bytes * 8 bits / (gbps * 1e9 bit/s) seconds = bytes * 8 / (gbps * 1e3) µs *)
 let serialization_us config bytes =
   int_of_float (ceil (float_of_int bytes *. 8.0 /. (config.uplink_gbps *. 1_000.0)))
 
-let deliver t ~src ~dst msg arrival =
+(* [bytes]/[kind] are computed once in [send] and threaded through so the
+   receive path never re-serializes the message. *)
+let deliver t ~src ~dst ~bytes ~kind msg arrival =
   Engine.schedule_at t.engine arrival (fun () ->
-      t.bytes_received.(dst) <- t.bytes_received.(dst) + t.size msg + t.config.per_message_overhead;
+      Metrics.add t.bytes_received.(dst) bytes;
+      if Trace.enabled t.obs.Obs.trace then
+        Trace.emit t.obs.Obs.trace ~ts:arrival
+          (Trace.Msg_recv { src; dst; kind; bytes });
       t.handlers.(dst) ~src msg)
 
 let send t ~src ~dst msg =
@@ -79,15 +132,30 @@ let send t ~src ~dst msg =
   else begin
     let now = Engine.now t.engine in
     let bytes = t.size msg + t.config.per_message_overhead in
-    t.bytes_sent.(src) <- t.bytes_sent.(src) + bytes;
-    t.messages_sent.(src) <- t.messages_sent.(src) + 1;
-    t.total_bytes <- t.total_bytes + bytes;
-    t.total_messages <- t.total_messages + 1;
-    if src = dst then deliver t ~src ~dst msg (now + t.config.local_delivery)
+    let kind = t.kind msg in
+    Metrics.add t.bytes_sent.(src) bytes;
+    Metrics.incr t.messages_sent.(src);
+    Metrics.add t.total_bytes bytes;
+    Metrics.incr t.total_messages;
+    let kh = kind_handles t kind in
+    Metrics.add kh.k_bytes bytes;
+    Metrics.incr kh.k_msgs;
+    let tr = t.obs.Obs.trace in
+    if Trace.enabled tr then
+      Trace.emit tr ~ts:now (Trace.Msg_send { src; dst; kind; bytes });
+    if src = dst then
+      deliver t ~src ~dst ~bytes ~kind msg (now + t.config.local_delivery)
     else begin
+      let backlog = max 0 (t.uplink_free.(src) - now) in
+      Metrics.observe t.uplink_backlog (float_of_int backlog);
       let ser = serialization_us t.config bytes in
-      let depart = max now t.uplink_free.(src) + ser in
+      Metrics.add t.uplink_busy ser;
+      let start = max now t.uplink_free.(src) in
+      let depart = start + ser in
       t.uplink_free.(src) <- depart;
+      if Trace.enabled tr then
+        Trace.emit tr ~ts:now
+          (Trace.Uplink { node = src; kind; bytes; enqueued = now; start; depart });
       let base_latency = Topology.one_way t.topology ~src ~dst in
       let jitter =
         if t.config.jitter = 0.0 then 0
@@ -101,7 +169,7 @@ let send t ~src ~dst msg =
         else 0
       in
       let arrival = depart + max 0 (base_latency + jitter) + adversarial in
-      deliver t ~src ~dst msg arrival
+      deliver t ~src ~dst ~bytes ~kind msg arrival
     end
   end
 
@@ -112,15 +180,20 @@ let broadcast t ~src msg =
     send t ~src ~dst msg
   done
 
-let bytes_sent t i = t.bytes_sent.(i)
-let bytes_received t i = t.bytes_received.(i)
-let messages_sent t i = t.messages_sent.(i)
-let total_bytes t = t.total_bytes
-let total_messages t = t.total_messages
+let bytes_sent t i = Metrics.counter_value t.bytes_sent.(i)
+let bytes_received t i = Metrics.counter_value t.bytes_received.(i)
+let messages_sent t i = Metrics.counter_value t.messages_sent.(i)
+let total_bytes t = Metrics.counter_value t.total_bytes
+let total_messages t = Metrics.counter_value t.total_messages
 
 let reset_metrics t =
-  Array.fill t.bytes_sent 0 (Array.length t.bytes_sent) 0;
-  Array.fill t.bytes_received 0 (Array.length t.bytes_received) 0;
-  Array.fill t.messages_sent 0 (Array.length t.messages_sent) 0;
-  t.total_bytes <- 0;
-  t.total_messages <- 0
+  Array.iter Metrics.reset_counter t.bytes_sent;
+  Array.iter Metrics.reset_counter t.bytes_received;
+  Array.iter Metrics.reset_counter t.messages_sent;
+  Metrics.reset_counter t.total_bytes;
+  Metrics.reset_counter t.total_messages;
+  Hashtbl.iter
+    (fun _ kh ->
+      Metrics.reset_counter kh.k_bytes;
+      Metrics.reset_counter kh.k_msgs)
+    t.by_kind

@@ -35,9 +35,16 @@ val create :
   topology:Topology.t ->
   config:config ->
   size:('msg -> int) ->
+  ?kind:('msg -> string) ->
+  ?obs:Clanbft_obs.Obs.t ->
   rng:Clanbft_util.Rng.t ->
   unit ->
   'msg t
+(** [kind] names a message for the per-kind byte breakdown and trace
+    events (default: the constant ["msg"]). [obs] supplies the trace sink
+    and metric registry; when omitted, the net creates a private registry
+    with tracing disabled, so the byte/message accessors below always
+    work and two nets never share counters. *)
 
 val n : _ t -> int
 
@@ -58,7 +65,17 @@ val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> bool) -> unit
     silently dropped. Use only for crash/partition tests — reliable-link
     protocols assume eventual delivery. *)
 
-(** {1 Metrics} *)
+(** {1 Metrics}
+
+    All counters are registry-backed ({!registry}); the accessors below
+    are retained shorthands over the canonical metrics. The registry
+    additionally carries [net_bytes_by_kind{kind}] /
+    [net_messages_by_kind{kind}] breakdowns, an [uplink_backlog_us]
+    histogram (queued serialization work observed at each non-local
+    enqueue) and [uplink_busy_us_total]. *)
+
+val obs : _ t -> Clanbft_obs.Obs.t
+val registry : _ t -> Clanbft_obs.Metrics.registry
 
 val bytes_sent : _ t -> int -> int
 val bytes_received : _ t -> int -> int

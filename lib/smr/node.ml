@@ -87,8 +87,8 @@ let on_block_internal t (b : Block.t) =
         ());
   if t.executes then drain t
 
-let create ~me ~config ~keychain ~engine ~net ?params ?(max_block_txns = 6000)
-    ?persist ?generate ?on_commit ?on_txn_executed () =
+let create ~me ~config ~keychain ~engine ~net ?params ?obs
+    ?(max_block_txns = 6000) ?persist ?generate ?on_commit ?on_txn_executed () =
   let t =
     {
       me;
@@ -108,7 +108,7 @@ let create ~me ~config ~keychain ~engine ~net ?params ?(max_block_txns = 6000)
     | None -> Mempool.take t.mempool ~max:max_block_txns
   in
   let consensus =
-    Sailfish.create ~me ~config ~keychain ~engine ~net ?params ~make_block
+    Sailfish.create ~me ~config ~keychain ~engine ~net ?params ?obs ~make_block
       ~on_commit:(on_commit_internal t on_commit)
       ~on_block:(on_block_internal t)
       ()

@@ -25,6 +25,7 @@ val create :
   engine:Clanbft_sim.Engine.t ->
   net:Msg.t Clanbft_sim.Net.t ->
   ?params:Clanbft_consensus.Sailfish.params ->
+  ?obs:Clanbft_obs.Obs.t ->
   ?max_block_txns:int ->
   ?persist:Persist.t ->
   ?generate:(round:int -> Transaction.t array) ->
@@ -36,7 +37,8 @@ val create :
     workloads stamp transactions at proposal time, like §7's load
     generator). [max_block_txns] caps a proposal (default 6000, the paper's
     maximum). [on_commit] observes the raw a_deliver stream;
-    [on_txn_executed] observes execution receipts (clan members only). *)
+    [on_txn_executed] observes execution receipts (clan members only).
+    [obs] is forwarded to {!Clanbft_consensus.Sailfish.create}. *)
 
 val start : t -> unit
 val me : t -> int

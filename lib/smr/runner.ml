@@ -6,6 +6,8 @@ module Sailfish = Clanbft_consensus.Sailfish
 module Stats = Clanbft_util.Stats
 module Rng = Clanbft_util.Rng
 module Faults = Clanbft_faults.Faults
+module Obs = Clanbft_obs.Obs
+module Metrics = Clanbft_obs.Metrics
 
 type protocol =
   | Full
@@ -33,6 +35,7 @@ type spec = {
   fault_plan : Faults.plan;
   persist : bool;
   clan_random : bool;
+  obs : Obs.t option;
 }
 
 let default_spec =
@@ -52,6 +55,7 @@ let default_spec =
     fault_plan = Faults.empty;
     persist = false;
     clan_random = false;
+    obs = None;
   }
 
 type result = {
@@ -67,6 +71,7 @@ type result = {
   mb_per_node_per_s : float;
   events : int;
   agreement : bool;
+  commit_fingerprint : int;
 }
 
 (* Growable int array for per-node commit-prefix hashes. *)
@@ -127,9 +132,13 @@ let run spec =
     | `Gcp -> Topology.gcp_table1 ~n:spec.n
     | `Uniform one_way_ms -> Topology.uniform ~n:spec.n ~one_way_ms
   in
+  (* One obs per run unless the caller shares its own: the registry must
+     not accumulate across runs, and the default spec is reused freely. *)
+  let obs = match spec.obs with Some o -> o | None -> Obs.metrics_only () in
   let net =
     Net.create ~engine ~topology ~config:spec.net
       ~size:(Msg.wire_size ~n:spec.n)
+      ~kind:Msg.tag ~obs
       ~rng:(Rng.split rng) ()
   in
   let keychain = Keychain.create ~seed:(Rng.next_int64 rng) ~n:spec.n in
@@ -162,6 +171,14 @@ let run spec =
     end
   in
   let prefix_hash = Array.init spec.n (fun _ -> Intvec.create ()) in
+  (* Per-replica commit latency (creation → committed by THIS replica),
+     complementing the committed-by-all reservoir below. *)
+  let commit_hist =
+    Array.init spec.n (fun i ->
+        Metrics.histogram obs.Obs.metrics
+          ~labels:[ ("node", string_of_int i) ]
+          ~buckets:Stats.Histogram.latency_ms_buckets "commit_latency_ms")
+  in
   let leaders_committed = ref 0 in
   let on_commit me ~leader:(l : Vertex.t) vertices =
     if l.round >= 0 && me = 0 then incr leaders_committed;
@@ -175,6 +192,7 @@ let run spec =
         | None -> ()
         | Some meta when meta.done_ -> ()
         | Some meta ->
+            Metrics.observe commit_hist.(me) (Time.to_ms (now - meta.created_at));
             meta.commits <- meta.commits + 1;
             if meta.commits >= honest_count then begin
               meta.done_ <- true;
@@ -193,7 +211,7 @@ let run spec =
   in
   let nodes =
     Array.init spec.n (fun me ->
-        Node.create ~me ~config ~keychain ~engine ~net ~params:spec.params
+        Node.create ~me ~config ~keychain ~engine ~net ~params:spec.params ~obs
           ?persist:(if spec.persist then Some persist.(me) else None)
           ~generate:(generate me)
           ~on_commit:(fun ~leader vs -> on_commit me ~leader vs)
@@ -205,7 +223,7 @@ let run spec =
     ignore
       (Faults.install ~engine ~net
          ~rng:(Rng.split rng)
-         ~classify:Msg.tag ~round_of:Msg.round spec.fault_plan);
+         ~classify:Msg.tag ~round_of:Msg.round ~obs spec.fault_plan);
   Array.iteri (fun i node -> if not crashed.(i) then Node.start node) nodes;
   Engine.run ~until:spec.duration engine;
   (* ---- agreement: common prefix of commit sequences ---- *)
@@ -224,6 +242,18 @@ let run spec =
              (fun v -> Intvec.get v (min_len - 1) = Intvec.get first (min_len - 1))
              rest
   in
+  (* One integer summarizing every honest replica's full commit sequence:
+     two runs commit bit-identical sequences iff fingerprints match (up to
+     hash collision). The determinism tests compare this across
+     tracing-on/off runs. *)
+  let commit_fingerprint =
+    List.fold_left
+      (fun acc v ->
+        mix acc (if Intvec.length v = 0 then 0 else Intvec.get v (Intvec.length v - 1))
+        |> fun acc -> mix acc (Intvec.length v))
+      (List.length honest_vecs)
+      honest_vecs
+  in
   let window_s = Time.to_s (spec.duration - spec.warmup) in
   let max_round =
     Array.fold_left
@@ -236,11 +266,10 @@ let run spec =
         spec.txns_per_proposal;
     committed_txns = !committed_txns;
     throughput_ktps = float_of_int !committed_txns /. window_s /. 1_000.;
-    latency_mean_ms = (if Stats.is_empty samples then 0.0 else Stats.mean samples);
-    latency_p50_ms =
-      (if Stats.is_empty samples then 0.0 else Stats.percentile samples 50.);
-    latency_p99_ms =
-      (if Stats.is_empty samples then 0.0 else Stats.percentile samples 99.);
+    (* percentile is total (nan when no block completed in-window). *)
+    latency_mean_ms = Stats.mean samples;
+    latency_p50_ms = Stats.percentile samples 50.;
+    latency_p99_ms = Stats.percentile samples 99.;
     rounds = max_round;
     leaders_committed = !leaders_committed;
     bytes_total = Net.total_bytes net;
@@ -249,6 +278,7 @@ let run spec =
       /. float_of_int spec.n /. Time.to_s spec.duration /. 1e6;
     events = Engine.events_processed engine;
     agreement;
+    commit_fingerprint;
   }
 
 let pp_result ppf r =

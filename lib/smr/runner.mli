@@ -41,6 +41,13 @@ type spec = {
           from [seed], so adversarial runs replay exactly. *)
   persist : bool;
   clan_random : bool;  (** random clan election instead of region-balanced *)
+  obs : Clanbft_obs.Obs.t option;
+      (** Observability handle threaded through net, consensus and fault
+          injector. [None] (the default) gives each run a private disabled
+          handle. Pass {!Clanbft_obs.Obs.create} to record a trace, or
+          {!Clanbft_obs.Obs.metrics_only} to collect the registry without
+          the per-event buffer. Tracing never changes the run: same seed,
+          same [commit_fingerprint], tracing on or off. *)
 }
 
 val default_spec : spec
@@ -52,7 +59,7 @@ type result = {
   committed_txns : int;  (** completed in-window, scaled *)
   throughput_ktps : float;
   latency_mean_ms : float;  (** creation → committed-by-all, block-weighted *)
-  latency_p50_ms : float;
+  latency_p50_ms : float;  (** [nan] when no block completed in-window *)
   latency_p99_ms : float;
   rounds : int;  (** max round reached by any replica *)
   leaders_committed : int;
@@ -60,6 +67,10 @@ type result = {
   mb_per_node_per_s : float;  (** mean egress rate per replica *)
   events : int;
   agreement : bool;  (** all replicas committed a common sequence prefix *)
+  commit_fingerprint : int;
+      (** Hash folding every honest replica's entire commit sequence (and
+          its length): equal fingerprints ⇔ bit-identical commit sequences,
+          up to hash collision. The yardstick for determinism assertions. *)
 }
 
 val run : spec -> result

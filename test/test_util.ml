@@ -210,10 +210,56 @@ let test_stats_minmax () =
   Alcotest.(check (float 1e-9)) "min" (-1.0) (Stats.min s);
   Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max s)
 
-let test_stats_empty_errors () =
+let test_stats_empty_total () =
+  (* percentile and summary are total: nan / "empty" instead of raising *)
   let s = Stats.create () in
-  Alcotest.check_raises "empty percentile" (Invalid_argument "Stats.percentile: empty")
-    (fun () -> ignore (Stats.percentile s 50.0))
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Stats.percentile s 50.0));
+  Alcotest.(check string) "empty summary" "empty" (Stats.summary s);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile s 101.0))
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create ~buckets:[| 1.0; 10.0; 100.0 |] in
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (Stats.Histogram.mean h));
+  (* Edge samples land in the bucket whose upper edge admits them
+     (inclusive), strictly-greater samples in the next one. *)
+  List.iter (Stats.Histogram.observe h) [ 0.5; 1.0; 1.5; 10.0; 10.5; 1e9 ];
+  Alcotest.(check int) "count" 6 (Stats.Histogram.count h);
+  let counts = Array.map snd (Stats.Histogram.buckets h) in
+  Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |] counts;
+  let edges = Array.map fst (Stats.Histogram.buckets h) in
+  Alcotest.(check bool) "overflow edge is +inf" true
+    (edges.(3) = Float.infinity);
+  let cum = Array.map snd (Stats.Histogram.cumulative h) in
+  Alcotest.(check (array int)) "cumulative" [| 2; 4; 5; 6 |] cum;
+  Alcotest.(check (float 1e-9)) "p50 upper bound" 10.0
+    (Stats.Histogram.quantile h 0.5);
+  Alcotest.(check bool) "p100 is overflow edge" true
+    (Stats.Histogram.quantile h 1.0 = Float.infinity);
+  Stats.Histogram.reset h;
+  Alcotest.(check int) "reset" 0 (Stats.Histogram.count h)
+
+let test_histogram_bad_edges () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Stats.Histogram.create: edges must be strictly increasing")
+    (fun () -> ignore (Stats.Histogram.create ~buckets:[| 1.0; 1.0 |]))
+
+let test_rate_window () =
+  let r = Stats.Rate.create ~window_us:1_000_000 () in
+  Stats.Rate.add r ~now_us:0 100.0;
+  Stats.Rate.add r ~now_us:500_000 200.0;
+  Alcotest.(check (float 1e-9)) "both in window" 300.0
+    (Stats.Rate.total r ~now_us:900_000);
+  (* at t=1_000_000 the t=0 entry ages out (ts <= now - window) *)
+  Alcotest.(check (float 1e-9)) "first aged out" 200.0
+    (Stats.Rate.total r ~now_us:1_000_000);
+  Alcotest.(check (float 1e-9)) "per second" 200.0
+    (Stats.Rate.per_second r ~now_us:1_400_000);
+  Alcotest.(check (float 1e-9)) "all aged out" 0.0
+    (Stats.Rate.total r ~now_us:2_000_000)
 
 let test_stats_add_after_sort () =
   (* percentile sorts internally; adding afterwards must still work *)
@@ -296,10 +342,13 @@ let suites =
         Alcotest.test_case "mean" `Quick test_stats_mean;
         Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
         Alcotest.test_case "min/max" `Quick test_stats_minmax;
-        Alcotest.test_case "empty errors" `Quick test_stats_empty_errors;
+        Alcotest.test_case "empty is total" `Quick test_stats_empty_total;
         Alcotest.test_case "add after sort" `Quick test_stats_add_after_sort;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "histogram bad edges" `Quick test_histogram_bad_edges;
+        Alcotest.test_case "rate window" `Quick test_rate_window;
       ] );
     ( "util.hex",
       [
