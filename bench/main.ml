@@ -1,6 +1,6 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation, plus the ablations called out in DESIGN.md and a bechamel
-   micro-benchmark suite.
+   evaluation, plus the ablations called out in DESIGN.md, a bechamel
+   micro-benchmark suite, and a perf-regression section (BENCH_sim.json).
 
    Profiles (CLANBFT_BENCH environment variable):
      quick — scaled-down sizes, ~2 minutes; CI smoke run.
@@ -8,13 +8,26 @@
              (the knee-revealing points); ~20-25 minutes on one core.
      full  — the complete 13-point sweeps of §7; hours.
 
+   Parallelism: every (protocol × n × load) simulation point is an
+   independent deterministic job; points fan out across a Domain pool
+   (--jobs N / CLANBFT_JOBS, default Domain.recommended_domain_count).
+
+   Output discipline: stdout carries only deterministic tables — every
+   simulation point runs from a seed derived from its (protocol, n, load)
+   key, so stdout is byte-identical at any --jobs width and diffable
+   across runs. Wall-clock timings, progress lines and measured
+   micro-benchmark numbers go to stderr (and, for the perf section, to
+   BENCH_sim.json).
+
    Sections can be selected on the command line:
-     dune exec bench/main.exe -- table1 fig1 concrete fig5a fig5b fig5c \
-       fig6 ablation-latency ablation-rbc faults metrics micro *)
+     dune exec bench/main.exe -- [--jobs N] table1 fig1 concrete fig5a \
+       fig5b fig5c fig6 ablation-latency ablation-rbc faults metrics \
+       micro perf *)
 
 open Clanbft
 open Clanbft.Sim
 module Rng = Util.Rng
+module Pool = Util.Pool
 
 type profile = Quick | Paper | Full
 
@@ -36,6 +49,28 @@ let wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Progress / timing output: stderr only, one atomic write per line so
+   worker domains don't tear each other's lines. *)
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_string s;
+      flush stderr)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool: set from --jobs / CLANBFT_JOBS before sections run. *)
+
+let requested_jobs = ref None
+
+let pool =
+  lazy
+    (let jobs =
+       match !requested_jobs with Some j -> j | None -> Pool.default_jobs ()
+     in
+     progress "using %d worker domain(s)\n" jobs;
+     Pool.create ~jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: inter-region RTTs used by the simulator *)
@@ -104,30 +139,84 @@ let concrete () =
     [ 50; 100; 150 ]
 
 (* ------------------------------------------------------------------ *)
-(* Figures 5a/5b/5c and 6: throughput vs latency, by protocol *)
+(* Figures 5a/5b/5c and 6: throughput vs latency, by protocol.
+
+   Every (protocol, n, load) point is one independent simulation job.
+   [prefetch] fans the uncached points of a figure out across the pool;
+   the printing code then reads results from the cache in deterministic
+   order. Each point derives its RNG seed from its own key, so a result
+   does not depend on which domain (or in which order) computed it. *)
+
+type point = {
+  pn : int;
+  pprotocol : Runner.protocol;
+  pload : int;
+  pduration : float;
+  pwarmup : float;
+  pscale : int;
+}
+
+let point_key p =
+  Printf.sprintf "%s/%d/%d" (Runner.protocol_label p.pprotocol) p.pn p.pload
+
+(* FNV-1a over the point key: a fixed, scheduling-independent seed per
+   simulation point. *)
+let point_seed key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    key;
+  !h
+
+let spec_of_point p =
+  {
+    Runner.default_spec with
+    n = p.pn;
+    protocol = p.pprotocol;
+    txns_per_proposal = p.pload;
+    txn_scale = p.pscale;
+    duration = Time.s p.pduration;
+    warmup = Time.s p.pwarmup;
+    seed = point_seed (point_key p);
+  }
 
 let result_cache : (string, Runner.result) Hashtbl.t = Hashtbl.create 64
 
-let run_point ~n ~protocol ~load ~duration ~warmup ~scale =
-  let key = Printf.sprintf "%s/%d/%d" (Runner.protocol_label protocol) n load in
-  match Hashtbl.find_opt result_cache key with
+let compute_point p =
+  let r, secs = wall (fun () -> Runner.run (spec_of_point p)) in
+  progress "    %-26s load=%-5d -> %8.1f kTPS  %7.1f ms  [%4.0fs wall]\n"
+    (Runner.protocol_label p.pprotocol)
+    p.pload r.throughput_ktps r.latency_mean_ms secs;
+  r
+
+let prefetch points =
+  let seen = Hashtbl.create 16 in
+  let todo =
+    List.filter
+      (fun p ->
+        let k = point_key p in
+        if Hashtbl.mem result_cache k || Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      points
+  in
+  if todo <> [] then begin
+    let todo = Array.of_list todo in
+    let results = Pool.map (Lazy.force pool) compute_point todo in
+    Array.iteri
+      (fun i r -> Hashtbl.replace result_cache (point_key todo.(i)) r)
+      results
+  end
+
+let run_point p =
+  match Hashtbl.find_opt result_cache (point_key p) with
   | Some r -> r
   | None ->
-      let spec =
-        {
-          Runner.default_spec with
-          n;
-          protocol;
-          txns_per_proposal = load;
-          txn_scale = scale;
-          duration = Time.s duration;
-          warmup = Time.s warmup;
-        }
-      in
-      let r, secs = wall (fun () -> Runner.run spec) in
-      Printf.printf "    %-26s load=%-5d -> %8.1f kTPS  %7.1f ms  [%4.0fs wall]\n%!"
-        (Runner.protocol_label protocol) load r.throughput_ktps r.latency_mean_ms secs;
-      Hashtbl.replace result_cache key r;
+      let r = compute_point p in
+      Hashtbl.replace result_cache (point_key p) r;
       r
 
 let print_figure_rows title points =
@@ -162,6 +251,26 @@ let fig5_sizes () =
         ("Figure 5c (n=150, clan 80, q=2)", 150, 80, Some 2, paper_loads, 10.0, 3.0, 25);
       ]
 
+let figure_protocols ~nc ~multi =
+  [ Runner.Full; Runner.Single_clan { nc } ]
+  @ (match multi with Some q -> [ Runner.Multi_clan { q } ] | None -> [])
+
+let figure_points ~n ~protocols ~loads ~duration ~warmup ~scale =
+  List.concat_map
+    (fun protocol ->
+      List.map
+        (fun load ->
+          {
+            pn = n;
+            pprotocol = protocol;
+            pload = load;
+            pduration = duration;
+            pwarmup = warmup;
+            pscale = scale;
+          })
+        loads)
+    protocols
+
 let fig5 which () =
   let sizes = fig5_sizes () in
   let idx = match which with `A -> 0 | `B -> 1 | `C -> 2 in
@@ -169,14 +278,17 @@ let fig5 which () =
     let title, n, nc, multi, loads, duration, warmup, scale = List.nth sizes idx in
     section_header
       (Printf.sprintf "%s — throughput vs latency [%s profile]" title profile_name);
-    let protocols =
-      [ Runner.Full; Runner.Single_clan { nc } ]
-      @ (match multi with Some q -> [ Runner.Multi_clan { q } ] | None -> [])
-    in
+    let protocols = figure_protocols ~nc ~multi in
+    prefetch (figure_points ~n ~protocols ~loads ~duration ~warmup ~scale);
     List.iter
       (fun protocol ->
         let points =
-          List.map (fun load -> run_point ~n ~protocol ~load ~duration ~warmup ~scale) loads
+          List.map
+            (fun load ->
+              run_point
+                { pn = n; pprotocol = protocol; pload = load; pduration = duration;
+                  pwarmup = warmup; pscale = scale })
+            loads
         in
         print_figure_rows (Runner.protocol_label protocol) points)
       protocols;
@@ -197,17 +309,8 @@ let fig6 () =
     (Printf.sprintf
        "Figure 6. Throughput vs transactions per proposal at n=%d [%s profile]" n
        profile_name);
-  let protocols =
-    [ Runner.Full; Runner.Single_clan { nc } ]
-    @ (match multi with Some q -> [ Runner.Multi_clan { q } ] | None -> [])
-  in
-  (* Warm the cache first so progress lines don't interleave the table. *)
-  List.iter
-    (fun load ->
-      List.iter
-        (fun protocol -> ignore (run_point ~n ~protocol ~load ~duration ~warmup ~scale))
-        protocols)
-    loads;
+  let protocols = figure_protocols ~nc ~multi in
+  prefetch (figure_points ~n ~protocols ~loads ~duration ~warmup ~scale);
   Printf.printf "  %-12s" "load";
   List.iter (fun p -> Printf.printf "%26s" (Runner.protocol_label p)) protocols;
   Printf.printf "\n";
@@ -216,7 +319,11 @@ let fig6 () =
       Printf.printf "  %-12d" load;
       List.iter
         (fun protocol ->
-          let r = run_point ~n ~protocol ~load ~duration ~warmup ~scale in
+          let r =
+            run_point
+              { pn = n; pprotocol = protocol; pload = load; pduration = duration;
+                pwarmup = warmup; pscale = scale }
+          in
           Printf.printf "%20.1f kTPS" r.throughput_ktps)
         protocols;
       Printf.printf "\n%!")
@@ -420,9 +527,9 @@ let faults () =
     }
   in
   let r, secs = wall (fun () -> Runner.run spec) in
-  Printf.printf
-    "  %-26s -> %8.1f kTPS  %7.1f ms  agree=%b  [%4.0fs wall]\n" r.label
-    r.throughput_ktps r.latency_mean_ms r.agreement secs;
+  progress "  faults SMR run: %.0fs wall\n" secs;
+  Printf.printf "  %-26s -> %8.1f kTPS  %7.1f ms  agree=%b\n" r.label
+    r.throughput_ktps r.latency_mean_ms r.agreement;
   if not r.agreement then begin
     Printf.eprintf "  AGREEMENT VIOLATED under faults\n";
     exit 1
@@ -453,25 +560,34 @@ let metrics () =
     | Paper | Full -> (50, 32, 6.0, 2.0, 500)
   in
   let protocols =
-    [ Runner.Full; Runner.Single_clan { nc }; Runner.Multi_clan { q = 2 } ]
+    [| Runner.Full; Runner.Single_clan { nc }; Runner.Multi_clan { q = 2 } |]
   in
-  List.iter
-    (fun protocol ->
-      let obs = Obs.metrics_only () in
-      let spec =
-        {
-          Runner.default_spec with
-          n;
-          protocol;
-          txns_per_proposal = load;
-          duration = Time.s duration;
-          warmup = Time.s warmup;
-          obs = Some obs;
-        }
-      in
-      let r, secs = wall (fun () -> Runner.run spec) in
-      Printf.printf "\n  %-26s %8.1f kTPS  %7.1f ms  agree=%b  [%3.0fs wall]\n"
-        r.label r.throughput_ktps r.latency_mean_ms r.agreement secs;
+  (* Each run owns a private registry, so the three protocols fan out
+     across the pool; rows print sequentially afterwards. *)
+  let runs =
+    Pool.map (Lazy.force pool)
+      (fun protocol ->
+        let obs = Obs.metrics_only () in
+        let spec =
+          {
+            Runner.default_spec with
+            n;
+            protocol;
+            txns_per_proposal = load;
+            duration = Time.s duration;
+            warmup = Time.s warmup;
+            obs = Some obs;
+          }
+        in
+        let r, secs = wall (fun () -> Runner.run spec) in
+        progress "  %-26s done [%3.0fs wall]\n" r.Runner.label secs;
+        (protocol, obs, r))
+      protocols
+  in
+  Array.iter
+    (fun (protocol, obs, (r : Runner.result)) ->
+      Printf.printf "\n  %-26s %8.1f kTPS  %7.1f ms  agree=%b\n"
+        r.label r.throughput_ktps r.latency_mean_ms r.agreement;
       (* Per-kind byte breakdown: the numbers behind Fig. 5's bandwidth
          story — clan modes shift bytes from val (payload) to header-sized
          vertex/echo/ready traffic. *)
@@ -502,21 +618,42 @@ let metrics () =
       in
       Metrics.write_json obs.Obs.metrics path;
       Printf.printf "  registry -> %s\n%!" path)
-    protocols
+    runs
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel) *)
 
 let micro () =
-  section_header "Micro-benchmarks (bechamel; ns per operation)";
+  section_header
+    "Micro-benchmarks (bechamel; measured ns/op and derived throughput on stderr)";
   let open Bechamel in
   let open Toolkit in
   let payload_1k = String.make 1024 'x' in
+  let payload_64k = String.make 65536 'x' in
   let kc = Crypto.Keychain.create ~seed:1L ~n:100 in
   let txns =
     Array.init 100 (fun i -> Transaction.make ~id:i ~client:0 ~created_at:0 ())
   in
   let block = Block.make ~proposer:0 ~round:1 ~txns in
+  let big_txns =
+    Array.init 6000 (fun i -> Transaction.make ~id:i ~client:0 ~created_at:0 ())
+  in
+  let big_block = Block.make ~proposer:0 ~round:1 ~txns:big_txns in
+  let vertex =
+    Vertex.make ~round:1 ~source:0 ~block_digest:(Block.digest big_block)
+      ~strong_edges:
+        (Array.init 11 (fun i ->
+             { Vertex.round = 0; source = i; digest = Block.digest block }))
+      ~weak_edges:[||] ()
+  in
+  let val_msg =
+    Msg.Val
+      {
+        vertex;
+        block = Some big_block;
+        signature = Crypto.Keychain.sign kc ~signer:0 "v";
+      }
+  in
   let echo =
     Msg.Echo
       {
@@ -534,6 +671,8 @@ let micro () =
       [
         Test.make ~name:"sha256-1KiB" (Staged.stage (fun () ->
             ignore (Crypto.Sha256.digest_string payload_1k)));
+        Test.make ~name:"sha256-64KiB" (Staged.stage (fun () ->
+            ignore (Crypto.Sha256.digest_string payload_64k)));
         Test.make ~name:"block-digest-100txn" (Staged.stage (fun () ->
             ignore (Block.make ~proposer:0 ~round:1 ~txns)));
         Test.make ~name:"binomial-C(500,166)-cached" (Staged.stage (fun () ->
@@ -542,6 +681,8 @@ let micro () =
             ignore (Codec.encode ~n:100 echo)));
         Test.make ~name:"codec-decode-echo" (Staged.stage (fun () ->
             ignore (Codec.decode ~n:100 encoded_echo)));
+        Test.make ~name:"wire-size-val-6000txn" (Staged.stage (fun () ->
+            ignore (Msg.wire_size ~n:100 val_msg)));
         Test.make ~name:"rng-int" (Staged.stage (fun () -> ignore (Rng.int rng 1000)));
         Test.make ~name:"sign" (Staged.stage (fun () ->
             ignore (Crypto.Keychain.sign kc ~signer:1 payload_1k)));
@@ -554,12 +695,258 @@ let micro () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let estimates =
+    List.filter_map
+      (fun (name, v) ->
+        match Analyze.OLS.estimates v with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
+      rows
+    |> List.sort compare
+  in
+  (* Measured numbers vary run to run: stderr, like every other timing. *)
   List.iter
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
-      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-    (List.sort compare rows)
+    (fun (name, est) -> progress "  %-34s %12.1f ns/run\n" name est)
+    estimates;
+  let find name = List.assoc_opt ("clanbft/" ^ name) estimates in
+  Option.iter
+    (fun ns -> progress "  %-34s %12.1f MB/s\n" "sha256 throughput" (65536.0 /. ns *. 1e3))
+    (find "sha256-64KiB");
+  Option.iter
+    (fun ns -> progress "  %-34s %12.2f Mops/s\n" "codec encode" (1e3 /. ns))
+    (find "codec-encode-echo");
+  Option.iter
+    (fun ns -> progress "  %-34s %12.2f Mops/s\n" "codec decode" (1e3 /. ns))
+    (find "codec-decode-echo");
+  (* Deterministic part for stdout: the suite composition. *)
+  List.iter (fun (name, _) -> Printf.printf "  measured %s\n" name) estimates
+
+(* ------------------------------------------------------------------ *)
+(* Perf section: the regression baseline (BENCH_sim.json).
+
+   Pinned scenarios — identical across profiles — run sequentially (never
+   through the pool: wall-clock and allocation numbers must not be
+   polluted by concurrent domains), plus single-thread micro throughput
+   measurements of the hot paths. Deterministic facts (events, commits,
+   fingerprints) go to stdout; timings go to stderr and into the JSON. *)
+
+let bench_sim_json = "BENCH_sim.json"
+
+type perf_scenario = { ps_name : string; ps_spec : Runner.spec }
+
+let perf_scenarios () =
+  let base = Runner.default_spec in
+  let mk name protocol load =
+    {
+      ps_name = name;
+      ps_spec =
+        {
+          base with
+          n = 16;
+          protocol;
+          txns_per_proposal = load;
+          duration = Time.s 4.;
+          warmup = Time.s 1.;
+          seed = point_seed name;
+        };
+    }
+  in
+  [
+    mk "sailfish-n16-load200" Runner.Full 200;
+    mk "single-clan-n16-load400" (Runner.Single_clan { nc = 11 }) 400;
+    mk "multi-clan-n16q2-load200" (Runner.Multi_clan { q = 2 }) 200;
+  ]
+
+(* ops/sec of [f] measured over at least [min_time] seconds, calling [f]
+   in batches of [batch] between clock reads. *)
+let ops_per_s ?(min_time = 0.3) ?(batch = 100) f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let count = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    for _ = 1 to batch do
+      ignore (f ())
+    done;
+    count := !count + batch;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int !count /. !elapsed
+
+let perf_micro () =
+  (* SHA-256 bulk throughput. *)
+  let mb = String.make (1 lsl 20) '\xa7' in
+  let hashes = ops_per_s ~batch:2 (fun () -> Crypto.Sha256.digest_string mb) in
+  let sha_mb_s = hashes *. float_of_int (String.length mb) /. 1e6 in
+  (* Signing over realistic ~64-byte signing strings, cycling 256 distinct
+     messages so the memo serves hits like a broadcast's n verifiers. *)
+  let kc = Crypto.Keychain.create ~seed:1L ~n:64 in
+  let msgs =
+    Array.init 256 (fun i -> Printf.sprintf "echo|%d|%d|%032d" (i mod 50) i i)
+  in
+  let i = ref 0 in
+  let sign_ops =
+    ops_per_s (fun () ->
+        incr i;
+        Crypto.Keychain.sign kc ~signer:(!i land 63) msgs.(!i land 255))
+  in
+  (* Codec round-trip ops. *)
+  let echo =
+    Msg.Echo
+      {
+        round = 1;
+        source = 0;
+        vertex_digest = Crypto.Digest32.hash_string "b";
+        signer = 3;
+        signature = Crypto.Keychain.sign kc ~signer:3 "x";
+      }
+  in
+  let encoded = Codec.encode ~n:100 echo in
+  let enc_ops = ops_per_s (fun () -> Codec.encode ~n:100 echo) in
+  let dec_ops = ops_per_s (fun () -> Codec.decode ~n:100 encoded) in
+  (* Net send path: price + enqueue + uplink accounting + delivery of a
+     full-size Val carrying a 500-txn block, on the GCP topology. The
+     engine drains between batches so memory stays flat. *)
+  let n = 50 in
+  let engine = Engine.create () in
+  let net =
+    Net.create ~engine ~topology:(Topology.gcp_table1 ~n)
+      ~config:Net.default_config ~size:(Msg.wire_size ~n) ~kind:Msg.tag
+      ~rng:(Rng.create 7L) ()
+  in
+  for node = 0 to n - 1 do
+    Net.set_handler net node (fun ~src:_ _ -> ())
+  done;
+  let txns =
+    Array.init 500 (fun i -> Transaction.make ~id:i ~client:0 ~created_at:0 ())
+  in
+  let block = Block.make ~proposer:0 ~round:1 ~txns in
+  let vertex =
+    Vertex.make ~round:1 ~source:0 ~block_digest:(Block.digest block)
+      ~strong_edges:[||] ~weak_edges:[||] ()
+  in
+  let val_msg =
+    Msg.Val { vertex; block = Some block; signature = Crypto.Keychain.sign kc ~signer:0 "v" }
+  in
+  let sent = ref 0 in
+  let send_ops =
+    ops_per_s ~batch:1 (fun () ->
+        for _ = 1 to 1000 do
+          incr sent;
+          Net.send net ~src:(!sent mod n) ~dst:((!sent + 1) mod n) val_msg
+        done;
+        Engine.run engine)
+  in
+  let send_ops = send_ops *. 1000.0 in
+  [
+    ("sha256_mb_per_s", sha_mb_s);
+    ("sign_ops_per_s", sign_ops);
+    ("encode_ops_per_s", enc_ops);
+    ("decode_ops_per_s", dec_ops);
+    ("net_send_ops_per_s", send_ops);
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    (* NaN is not JSON; latencies can be nan when nothing committed. *)
+    if Float.is_nan f then "null" else Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let perf () =
+  section_header
+    (Printf.sprintf "Perf baseline — pinned scenarios + hot-path micros -> %s"
+       bench_sim_json);
+  let scenarios = perf_scenarios () in
+  Printf.printf "  %-26s %4s %6s %10s %12s %8s %18s\n" "scenario" "n" "load"
+    "committed" "events" "agree" "fingerprint";
+  let measured =
+    List.map
+      (fun sc ->
+        Gc.full_major ();
+        let g0 = Gc.quick_stat () in
+        let r, secs = wall (fun () -> Runner.run sc.ps_spec) in
+        let g1 = Gc.quick_stat () in
+        let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+        let major = g1.Gc.major_words -. g0.Gc.major_words in
+        let promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+        let events_per_s = float_of_int r.Runner.events /. secs in
+        progress
+          "  %-26s %6.2fs wall  %9.0f events/s  minor %11.0f w  major %10.0f w\n"
+          sc.ps_name secs events_per_s minor major;
+        Printf.printf "  %-26s %4d %6d %10d %12d %8b %#18x\n" sc.ps_name
+          sc.ps_spec.Runner.n sc.ps_spec.Runner.txns_per_proposal
+          r.Runner.committed_txns r.Runner.events r.Runner.agreement
+          r.Runner.commit_fingerprint;
+        (sc, r, secs, events_per_s, minor, major, promoted))
+      scenarios
+  in
+  let micros = perf_micro () in
+  List.iter
+    (fun (k, v) -> progress "  %-26s %14.1f\n" k v)
+    micros;
+  (* BENCH_sim.json *)
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"clanbft/bench-sim/v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"profile\": \"%s\",\n" profile_name);
+  Buffer.add_string b
+    (Printf.sprintf "  \"jobs\": %d,\n" (Pool.jobs (Lazy.force pool)));
+  Buffer.add_string b "  \"scenarios\": [\n";
+  List.iteri
+    (fun i (sc, (r : Runner.result), secs, eps, minor, major, promoted) ->
+      Buffer.add_string b "    {";
+      Buffer.add_string b
+        (String.concat ", "
+           [
+             Printf.sprintf "\"name\": \"%s\"" (json_escape sc.ps_name);
+             Printf.sprintf "\"protocol\": \"%s\""
+               (json_escape (Runner.protocol_label sc.ps_spec.Runner.protocol));
+             Printf.sprintf "\"n\": %d" sc.ps_spec.Runner.n;
+             Printf.sprintf "\"load\": %d" sc.ps_spec.Runner.txns_per_proposal;
+             Printf.sprintf "\"sim_duration_s\": %s"
+               (json_float (Time.to_s sc.ps_spec.Runner.duration));
+             Printf.sprintf "\"wall_s\": %s" (json_float secs);
+             Printf.sprintf "\"events\": %d" r.events;
+             Printf.sprintf "\"events_per_s\": %s" (json_float eps);
+             Printf.sprintf "\"minor_words\": %s" (json_float minor);
+             Printf.sprintf "\"major_words\": %s" (json_float major);
+             Printf.sprintf "\"promoted_words\": %s" (json_float promoted);
+             Printf.sprintf "\"committed_txns\": %d" r.committed_txns;
+             Printf.sprintf "\"throughput_ktps\": %s" (json_float r.throughput_ktps);
+             Printf.sprintf "\"latency_mean_ms\": %s" (json_float r.latency_mean_ms);
+             Printf.sprintf "\"agreement\": %b" r.agreement;
+             Printf.sprintf "\"commit_fingerprint\": \"%#x\"" r.commit_fingerprint;
+           ]);
+      Buffer.add_string b
+        (if i = List.length measured - 1 then "}\n" else "},\n"))
+    measured;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"micro\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" k (json_float v)
+           (if i = List.length micros - 1 then "" else ",")))
+    micros;
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out bench_sim_json in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\n  wrote %s\n" bench_sim_json
 
 (* ------------------------------------------------------------------ *)
 
@@ -577,13 +964,48 @@ let sections =
     ("faults", faults);
     ("metrics", metrics);
     ("micro", micro);
+    ("perf", perf);
   ]
 
 let () =
+  let rec parse_args jobs names = function
+    | [] -> (jobs, List.rev names)
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> parse_args (Some j) names rest
+        | _ ->
+            Printf.eprintf "--jobs: expected a positive integer, got %S\n" v;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs: missing value\n";
+        exit 2
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+        let v = String.sub arg 7 (String.length arg - 7) in
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> parse_args (Some j) names rest
+        | _ ->
+            Printf.eprintf "--jobs: expected a positive integer, got %S\n" v;
+            exit 2)
+    | name :: rest -> parse_args jobs (name :: names) rest
+  in
+  let jobs, requested =
+    parse_args None [] (List.tl (Array.to_list Sys.argv))
+  in
+  (* Resolve the width now: a malformed CLANBFT_JOBS should fail before
+     any simulation runs, not when the lazy pool is first forced. *)
+  let jobs =
+    match jobs with
+    | Some j -> Some j
+    | None -> (
+        match Pool.default_jobs () with
+        | j -> Some j
+        | exception Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
+  in
+  requested_jobs := jobs;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match requested with [] -> List.map fst sections | names -> names
   in
   Printf.printf "clanbft benchmark harness — profile: %s\n" profile_name;
   Printf.printf "(set CLANBFT_BENCH=quick|paper|full to change scope)\n";
@@ -596,4 +1018,5 @@ let () =
           Printf.eprintf "unknown section %S; available: %s\n" name
             (String.concat ", " (List.map fst sections)))
     requested;
-  Printf.printf "\nTotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  progress "\nTotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  if Lazy.is_val pool then Pool.shutdown (Lazy.force pool)

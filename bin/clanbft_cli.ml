@@ -1,6 +1,7 @@
 (* clanbft command-line interface.
 
      clanbft sim        — run a simulated experiment and print metrics
+     clanbft sweep      — run a load sweep across worker domains
      clanbft clan-size  — exact committee sizing (Fig. 1 / §6.2 machinery)
      clanbft rbc        — broadcast one value through a chosen RBC variant
      clanbft latency    — architectural latency bounds (§1 / §8)          *)
@@ -354,6 +355,95 @@ let rbc_cmd =
       $ dur $ fault_flags)
 
 (* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let sweep_cmd =
+  let run n protocol nc q loads size duration warmup seed uniform jobs =
+    let protocol =
+      match protocol with
+      | `Full -> Runner.Full
+      | `Single ->
+          let nc =
+            match nc with
+            | Some nc -> nc
+            | None -> (
+                let threshold = Bigint.Rat.of_ints 1 1_000_000 in
+                match
+                  Committee.min_clan_size ~n ~f:(Committee.default_f n) ~threshold ()
+                with
+                | Some nc -> nc
+                | None -> n)
+          in
+          Runner.Single_clan { nc }
+      | `Multi -> Runner.Multi_clan { q }
+    in
+    let specs =
+      Array.of_list
+        (List.mapi
+           (fun i load ->
+             {
+               Runner.default_spec with
+               n;
+               protocol;
+               txns_per_proposal = load;
+               txn_size = size;
+               duration = Time.s duration;
+               warmup = Time.s warmup;
+               (* Each point gets its own seed so results do not depend on
+                  which worker domain ran it or in what order. *)
+               seed = Int64.add (Int64.of_int seed) (Int64.of_int (i * 7919));
+               topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
+             })
+           loads)
+    in
+    let jobs = match jobs with Some j -> j | None -> Util.Pool.default_jobs () in
+    Printf.eprintf "sweeping %d points across %d worker domain(s)\n%!"
+      (Array.length specs) jobs;
+    let results =
+      Util.Pool.with_pool ~jobs (fun pool -> Runner.run_many ~pool specs)
+    in
+    Array.iter (fun r -> Format.printf "%a@." Runner.pp_result r) results;
+    if Array.exists (fun (r : Runner.result) -> not r.agreement) results then
+      exit 1
+  in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
+  let protocol =
+    Arg.(value & opt protocol_conv `Single
+         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan.")
+  in
+  let nc =
+    Arg.(value & opt (some int) None
+         & info [ "clan-size" ] ~doc:"Clan size (single-clan); default: exact minimum at 1e-6.")
+  in
+  let q = Arg.(value & opt int 2 & info [ "clans" ] ~doc:"Clan count (multi-clan).") in
+  let loads =
+    Arg.(value & opt (list int) [ 125; 500; 1500; 3000; 6000 ]
+         & info [ "loads" ] ~doc:"Comma-separated transactions-per-proposal sweep.")
+  in
+  let size = Arg.(value & opt int 512 & info [ "txn-size" ] ~doc:"Transaction bytes.") in
+  let duration = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let warmup = Arg.(value & opt float 3.0 & info [ "warmup" ] ~doc:"Warm-up seconds.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.") in
+  let uniform =
+    Arg.(value & opt (some float) None
+         & info [ "uniform" ] ~doc:"Uniform one-way delay (ms) instead of the GCP topology.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains (default: $(b,CLANBFT_JOBS) or the \
+                   recommended domain count).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a load sweep (one simulation per load point) across worker \
+             domains; results print in load order and are independent of \
+             scheduling")
+    Term.(
+      const run $ n $ protocol $ nc $ q $ loads $ size $ duration $ warmup
+      $ seed $ uniform $ jobs)
+
+(* ------------------------------------------------------------------ *)
 (* latency *)
 
 let latency_cmd =
@@ -375,4 +465,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "clanbft" ~version:"0.1.0" ~doc)
-          [ sim_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))
+          [ sim_cmd; sweep_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))

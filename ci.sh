@@ -42,4 +42,41 @@ for f in sailfish single-clan_nc_11_ multi-clan_q_2_; do
 done
 rm -rf "$smoke_dir"
 
+echo "== parallel bench smoke (perf section, CLANBFT_JOBS=2) =="
+smoke_dir=$(mktemp -d)
+(cd "$smoke_dir" \
+  && CLANBFT_BENCH=quick dune exec --root "$OLDPWD" bench/main.exe -- --jobs 1 perf >stdout.jobs1 2>/dev/null \
+  && CLANBFT_BENCH=quick CLANBFT_JOBS=2 dune exec --root "$OLDPWD" bench/main.exe -- perf >stdout.jobs2 2>/dev/null)
+# Deterministic stdout: parallel dispatch must not change a byte.
+if ! cmp -s "$smoke_dir/stdout.jobs1" "$smoke_dir/stdout.jobs2"; then
+  echo "bench stdout differs between --jobs 1 and CLANBFT_JOBS=2"
+  diff "$smoke_dir/stdout.jobs1" "$smoke_dir/stdout.jobs2" || true
+  exit 1
+fi
+test -s "$smoke_dir/BENCH_sim.json" || {
+  echo "missing BENCH_sim.json"
+  exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "clanbft/bench-sim/v1"
+         and .jobs == 2
+         and (.scenarios | length) == 3
+         and (.scenarios | all(has("events_per_s") and has("wall_s")
+              and has("minor_words") and has("commit_fingerprint")))
+         and (.micro | has("sha256_mb_per_s") and has("net_send_ops_per_s")
+              and has("encode_ops_per_s") and has("decode_ops_per_s"))' \
+    "$smoke_dir/BENCH_sim.json" >/dev/null || {
+    echo "BENCH_sim.json failed schema validation"
+    exit 1
+  }
+else
+  for key in '"schema": "clanbft/bench-sim/v1"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"'; do
+    grep -qF "$key" "$smoke_dir/BENCH_sim.json" || {
+      echo "BENCH_sim.json missing $key"
+      exit 1
+    }
+  done
+fi
+rm -rf "$smoke_dir"
+
 echo "CI OK"

@@ -7,14 +7,24 @@ let max_clan_faults nc = ((nc + 1) / 2) - 1
 (* Multiplicative binomial: C(n,k) = prod_{i=1..k} (n-k+i)/i. Each division
    is exact because after multiplying by (n-k+i) the running product is a
    product of i consecutive integers, hence divisible by i!. Cached: the
-   analysis evaluates the same coefficients many times. *)
+   analysis evaluates the same coefficients many times. The cache is the
+   one piece of library-global mutable state, so it carries its own lock —
+   bench jobs now run on worker domains (Pool) and may size committees
+   concurrently. *)
 let binomial_cache : (int * int, Nat.t) Hashtbl.t = Hashtbl.create 1024
+let binomial_lock = Mutex.create ()
 
 let binomial n k =
   if k < 0 || k > n then Nat.zero
   else begin
     let k = min k (n - k) in
-    match Hashtbl.find_opt binomial_cache (n, k) with
+    let cached =
+      Mutex.lock binomial_lock;
+      let v = Hashtbl.find_opt binomial_cache (n, k) in
+      Mutex.unlock binomial_lock;
+      v
+    in
+    match cached with
     | Some v -> v
     | None ->
         let acc = ref Nat.one in
@@ -24,7 +34,9 @@ let binomial n k =
           assert (r = 0);
           acc := q
         done;
+        Mutex.lock binomial_lock;
         Hashtbl.replace binomial_cache (n, k) !acc;
+        Mutex.unlock binomial_lock;
         !acc
   end
 

@@ -20,6 +20,7 @@ module Util = struct
   module Heap = Clanbft_util.Heap
   module Stats = Clanbft_util.Stats
   module Hex = Clanbft_util.Hex
+  module Pool = Clanbft_util.Pool
 end
 
 module Bigint = struct

@@ -5,7 +5,10 @@ type t = {
   (* Signature memo: a broadcast signature is verified once by each of n
      receivers; computing the simulated tag once per (signer, message) and
      serving the rest from this table keeps large simulations affordable.
-     Bounded: reset wholesale when it grows past [cache_limit]. *)
+     Keys are (signer, 32-byte message digest) — never the message itself —
+     so one entry costs a bounded ~100 bytes regardless of message size,
+     and the table is hard-bounded at [memo_limit] entries (reset wholesale
+     when full, like a real implementation's verification cache). *)
   sig_cache : (int * string, string) Hashtbl.t;
 }
 
@@ -25,7 +28,7 @@ type aggregate = {
   mutable expected : string option;
 }
 
-let cache_limit = 1 lsl 20
+let memo_limit = 1 lsl 16
 
 let signature_size = 64
 
@@ -40,17 +43,26 @@ let create ~seed ~n =
 
 let n t = Array.length t.secrets
 
+(* Party i's signature on msg is SHA-256(sk_i ‖ SHA-256(msg)): hashing the
+   digest rather than the message keeps the memo keys at 32 bytes and the
+   signing pass free of the [sk ^ msg] concatenation copy. *)
 let sign t ~signer msg =
   if signer < 0 || signer >= n t then invalid_arg "Keychain.sign: bad signer";
-  let key = (signer, msg) in
+  let d = Sha256.digest_string msg in
+  let key = (signer, d) in
   match Hashtbl.find_opt t.sig_cache key with
   | Some s -> s
   | None ->
-      if Hashtbl.length t.sig_cache > cache_limit then
+      if Hashtbl.length t.sig_cache >= memo_limit then
         Hashtbl.reset t.sig_cache;
-      let s = Sha256.digest_string (t.secrets.(signer) ^ msg) in
+      let ctx = Sha256.init () in
+      Sha256.feed_string ctx t.secrets.(signer);
+      Sha256.feed_string ctx d;
+      let s = Sha256.finalize ctx in
       Hashtbl.replace t.sig_cache key s;
       s
+
+let memo_entries t = Hashtbl.length t.sig_cache
 
 let verify t ~signer msg signature =
   signer >= 0 && signer < n t && String.equal signature (sign t ~signer msg)

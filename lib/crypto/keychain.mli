@@ -29,6 +29,16 @@ val n : t -> int
 val sign : t -> signer:int -> string -> signature
 val verify : t -> signer:int -> string -> signature -> bool
 
+val memo_limit : int
+(** Hard bound on the signature-memo table: entries are keyed by
+    (signer, 32-byte message digest) — never by the message itself — and
+    the table resets wholesale when full, so a run of any length keeps the
+    memo within [memo_limit] entries of ~100 bytes each. *)
+
+val memo_entries : t -> int
+(** Current memo occupancy; always [<= memo_limit]. For tests and
+    diagnostics. *)
+
 val forge : signature
 (** An invalid signature, for Byzantine behaviours in tests. *)
 

@@ -42,59 +42,64 @@ let init () =
   }
 
 let mask = 0xFFFFFFFF
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let compress ctx =
-  let w = ctx.w and block = ctx.block in
+(* Compress one 64-byte block read from [src] at [off]. The schedule loads
+   words with 32-bit reads instead of four byte loads each; the expansion
+   and round loops hoist repeated array reads and go through unsafe
+   accessors (indices are statically in range); the eight working variables
+   live as parameters of a tail-recursive round function, so the whole
+   round loop runs without a single heap allocation. *)
+let compress_block ctx src off =
+  let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <-
-      (Char.code (Bytes.unsafe_get block (4 * i)) lsl 24)
-      lor (Char.code (Bytes.unsafe_get block ((4 * i) + 1)) lsl 16)
-      lor (Char.code (Bytes.unsafe_get block ((4 * i) + 2)) lsl 8)
-      lor Char.code (Bytes.unsafe_get block ((4 * i) + 3))
+    Array.unsafe_set w i
+      (Int32.to_int (Bytes.get_int32_be src (off + (4 * i))) land mask)
   done;
+  (* Rotations: a 32-bit value doubled into the low 62 bits of the native
+     int ([x lor (x lsl 32)]) turns each rotr into a single shift. All
+     rotation amounts used by SHA-256 are < 32, so every needed bit sits
+     below position 57 and the 63-bit int loses nothing. *)
   for i = 16 to 63 do
-    let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
-    in
-    let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
-    in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let w15d = w15 lor (w15 lsl 32) and w2d = w2 lor (w2 lsl 32) in
+    let s0 = ((w15d lsr 7) lxor (w15d lsr 18) lxor (w15 lsr 3)) land mask in
+    let s1 = ((w2d lsr 17) lxor (w2d lsr 19) lxor (w2 lsr 10)) land mask in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let h = ctx.h in
-  let a = ref h.(0)
-  and b = ref h.(1)
-  and c = ref h.(2)
-  and d = ref h.(3)
-  and e = ref h.(4)
-  and f = ref h.(5)
-  and g = ref h.(6)
-  and hh = ref h.(7) in
-  for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = !e land !f lxor (lnot !e land mask land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
-    let temp2 = (s0 + maj) land mask in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := (!d + temp1) land mask;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (temp1 + temp2) land mask
-  done;
-  h.(0) <- (h.(0) + !a) land mask;
-  h.(1) <- (h.(1) + !b) land mask;
-  h.(2) <- (h.(2) + !c) land mask;
-  h.(3) <- (h.(3) + !d) land mask;
-  h.(4) <- (h.(4) + !e) land mask;
-  h.(5) <- (h.(5) + !f) land mask;
-  h.(6) <- (h.(6) + !g) land mask;
-  h.(7) <- (h.(7) + !hh) land mask
+  let rec round i a b c d e f g hh =
+    if i = 64 then begin
+      h.(0) <- (h.(0) + a) land mask;
+      h.(1) <- (h.(1) + b) land mask;
+      h.(2) <- (h.(2) + c) land mask;
+      h.(3) <- (h.(3) + d) land mask;
+      h.(4) <- (h.(4) + e) land mask;
+      h.(5) <- (h.(5) + f) land mask;
+      h.(6) <- (h.(6) + g) land mask;
+      h.(7) <- (h.(7) + hh) land mask
+    end
+    else begin
+      let ed = e lor (e lsl 32) in
+      let s1 = ((ed lsr 6) lxor (ed lsr 11) lxor (ed lsr 25)) land mask in
+      (* ch = (e AND f) XOR (NOT e AND g), via the branch-free identity. *)
+      let ch = g lxor (e land (f lxor g)) in
+      let temp1 =
+        (hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+      in
+      let ad = a lor (a lsl 32) in
+      let s0 = ((ad lsr 2) lxor (ad lsr 13) lxor (ad lsr 22)) land mask in
+      (* maj, as (a AND b) OR (c AND (a OR b)). *)
+      let maj = a land b lor (c land (a lor b)) in
+      let temp2 = (s0 + maj) land mask in
+      round (i + 1) ((temp1 + temp2) land mask) a b c ((d + temp1) land mask) e
+        f g
+    end
+  in
+  round 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
+
+let compress ctx = compress_block ctx ctx.block 0
 
 let feed_bytes ctx src ~pos ~len =
   if ctx.finalized then invalid_arg "Sha256: context already finalized";
@@ -102,9 +107,9 @@ let feed_bytes ctx src ~pos ~len =
     invalid_arg "Sha256.feed_bytes: bad range";
   ctx.total_len <- ctx.total_len + len;
   let pos = ref pos and remaining = ref len in
-  while !remaining > 0 do
-    let space = 64 - ctx.block_len in
-    let chunk = min space !remaining in
+  (* Top up a partially filled working block first. *)
+  if ctx.block_len > 0 then begin
+    let chunk = min (64 - ctx.block_len) !remaining in
     Bytes.blit src !pos ctx.block ctx.block_len chunk;
     ctx.block_len <- ctx.block_len + chunk;
     pos := !pos + chunk;
@@ -113,7 +118,21 @@ let feed_bytes ctx src ~pos ~len =
       compress ctx;
       ctx.block_len <- 0
     end
-  done
+  end;
+  (* Bulk path: full blocks compress straight from the source, skipping the
+     copy through the 64-byte buffer. *)
+  if ctx.block_len = 0 then begin
+    while !remaining >= 64 do
+      compress_block ctx src !pos;
+      pos := !pos + 64;
+      remaining := !remaining - 64
+    done;
+    if !remaining > 0 then begin
+      Bytes.blit src !pos ctx.block 0 !remaining;
+      ctx.block_len <- !remaining;
+      remaining := 0
+    end
+  end
 
 let feed_string ctx s =
   feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

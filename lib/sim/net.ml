@@ -127,12 +127,12 @@ let deliver t ~src ~dst ~bytes ~kind msg arrival =
           (Trace.Msg_recv { src; dst; kind; bytes });
       t.handlers.(dst) ~src msg)
 
-let send t ~src ~dst msg =
+(* The core path, with [bytes]/[kind] already priced: fan-out entry points
+   compute them once per message, not once per recipient. *)
+let send_priced t ~src ~dst ~bytes ~kind msg =
   if not (t.filter ~src ~dst msg) then ()
   else begin
     let now = Engine.now t.engine in
-    let bytes = t.size msg + t.config.per_message_overhead in
-    let kind = t.kind msg in
     Metrics.add t.bytes_sent.(src) bytes;
     Metrics.incr t.messages_sent.(src);
     Metrics.add t.total_bytes bytes;
@@ -173,11 +173,23 @@ let send t ~src ~dst msg =
     end
   end
 
-let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+let price t msg = (t.size msg + t.config.per_message_overhead, t.kind msg)
+
+let send t ~src ~dst msg =
+  let bytes, kind = price t msg in
+  send_priced t ~src ~dst ~bytes ~kind msg
+
+let multicast t ~src ~dsts msg =
+  match dsts with
+  | [] -> ()
+  | dsts ->
+      let bytes, kind = price t msg in
+      List.iter (fun dst -> send_priced t ~src ~dst ~bytes ~kind msg) dsts
 
 let broadcast t ~src msg =
+  let bytes, kind = price t msg in
   for dst = 0 to n t - 1 do
-    send t ~src ~dst msg
+    send_priced t ~src ~dst ~bytes ~kind msg
   done
 
 let bytes_sent t i = Metrics.counter_value t.bytes_sent.(i)

@@ -281,6 +281,14 @@ let run spec =
     commit_fingerprint;
   }
 
+(* Each run owns every piece of mutable state it touches (engine, RNG,
+   keychain, net, metric registry), so independent specs are safe to fan
+   out across domains; results come back in spec order. *)
+let run_many ?pool specs =
+  match pool with
+  | Some pool -> Clanbft_util.Pool.map pool run specs
+  | None -> Clanbft_util.Pool.with_pool (fun pool -> Clanbft_util.Pool.map pool run specs)
+
 let pp_result ppf r =
   Format.fprintf ppf
     "%-28s tput=%8.1f kTPS  lat(mean/p50/p99)=%7.1f/%7.1f/%7.1f ms  rounds=%-4d egress=%6.1f MB/s/node  agree=%b"

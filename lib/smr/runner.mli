@@ -75,5 +75,12 @@ type result = {
 
 val run : spec -> result
 
+val run_many : ?pool:Clanbft_util.Pool.t -> spec array -> result array
+(** Run independent simulations across the pool's worker domains (a fresh
+    default-width pool when none is given), returning results in spec
+    order. Each run owns all of its mutable state, so for any fixed spec
+    array the results are bit-identical at every pool width — parallelism
+    changes wall-clock time only. *)
+
 val pp_result : Format.formatter -> result -> unit
 (** One table row: throughput, latency, traffic. *)

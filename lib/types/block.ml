@@ -5,6 +5,9 @@ type t = {
   round : int;
   txns : Transaction.t array;
   digest : Digest32.t;
+  wire_size : int;
+      (* cached at construction: sizing used to cost O(txns) per network
+         send — once per recipient — on every proposal *)
 }
 
 (* One contiguous buffer then a single SHA-256 pass: blocks carry up to
@@ -32,13 +35,18 @@ let compute_digest ~proposer ~round ~txns =
   Digest32.of_raw (Sha256.finalize ctx)
 
 let make ~proposer ~round ~txns =
-  { proposer; round; txns; digest = compute_digest ~proposer ~round ~txns }
+  {
+    proposer;
+    round;
+    txns;
+    digest = compute_digest ~proposer ~round ~txns;
+    wire_size =
+      Array.fold_left (fun acc txn -> acc + Transaction.wire_size txn) 12 txns;
+  }
 
 let digest t = t.digest
 let txn_count t = Array.length t.txns
-
-let wire_size t =
-  Array.fold_left (fun acc txn -> acc + Transaction.wire_size txn) 12 t.txns
+let wire_size t = t.wire_size
 
 let pp ppf t =
   Format.fprintf ppf "block(%d@r%d,%d txns,%a)" t.proposer t.round

@@ -12,6 +12,7 @@ type t = private {
   round : int;
   txns : Transaction.t array;
   digest : Digest32.t;  (** cached hash of the block *)
+  wire_size : int;  (** cached wire bytes, so sizing a send is O(1) *)
 }
 
 val make : proposer:int -> round:int -> txns:Transaction.t array -> t
@@ -19,6 +20,7 @@ val digest : t -> Digest32.t
 val txn_count : t -> int
 
 val wire_size : t -> int
-(** 12-byte header + the transactions' wire bytes. *)
+(** 12-byte header + the transactions' wire bytes. O(1): computed once at
+    construction. *)
 
 val pp : Format.formatter -> t -> unit

@@ -37,13 +37,17 @@ module W = struct
 
   let digest b d = raw b (Digest32.to_raw d)
 
+  (* Each bitmap byte is gathered from the bitset's words in one shot —
+     no per-member read-modify-write through Char.code/Char.chr. The
+     encoding is unchanged: member i lands in byte i/8, bit i mod 8. *)
   let bitset b ~n set =
-    let bytes = Bytes.make ((n + 7) / 8) '\x00' in
-    Bitset.iter
-      (fun i ->
-        Bytes.set bytes (i / 8)
-          (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8)))))
-      set;
+    let len = (n + 7) / 8 in
+    let cap_bytes = (Bitset.capacity set + 7) / 8 in
+    let bytes = Bytes.create len in
+    for j = 0 to len - 1 do
+      Bytes.unsafe_set bytes j
+        (Char.unsafe_chr (if j < cap_bytes then Bitset.byte set j else 0))
+    done;
     raw b (Bytes.unsafe_to_string bytes)
 
   let aggregate b ~n agg =

@@ -11,6 +11,10 @@ type t = {
   nvc : Cert.t option;
   tc : Cert.t option;
   digest : Digest32.t;
+  base_wire_size : int;
+      (* wire bytes of everything but the certificates (whose size depends
+         on the tribe size n); cached so sizing a send is O(1), not
+         O(edges) per recipient *)
 }
 
 let compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges ~nvc
@@ -61,6 +65,12 @@ let make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc () =
     digest =
       compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges
         ~nvc ~tc;
+    (* round + source + block digest + edge counts + edges *)
+    base_wire_size =
+      (4 + 4 + Digest32.size + 4
+      + (Array.length strong_edges * (4 + 4 + Digest32.size))
+      + 4
+      + (Array.length weak_edges * (4 + 4 + Digest32.size)));
   }
 
 let ref_of t = { round = t.round; source = t.source; digest = t.digest }
@@ -68,12 +78,7 @@ let vref_wire_size = 4 + 4 + Digest32.size
 
 let wire_size ~n t =
   let cert = function None -> 1 | Some _ -> 1 + Cert.wire_size ~n in
-  (* round + source + block digest + edge counts *)
-  4 + 4 + Digest32.size + 4
-  + (Array.length t.strong_edges * vref_wire_size)
-  + 4
-  + (Array.length t.weak_edges * vref_wire_size)
-  + cert t.nvc + cert t.tc
+  t.base_wire_size + cert t.nvc + cert t.tc
 
 let has_strong_edge_to t ~round ~source =
   round = t.round - 1

@@ -22,6 +22,7 @@ type t = private {
   nvc : Cert.t option;  (** no-vote certificate for [round - 1], if any *)
   tc : Cert.t option;  (** timeout certificate for [round - 1], if any *)
   digest : Digest32.t;  (** hash of this vertex (cached) *)
+  base_wire_size : int;  (** cached wire bytes excluding certificates *)
 }
 
 val make :
@@ -43,7 +44,8 @@ val vref_wire_size : int
 
 val wire_size : n:int -> t -> int
 (** Exact wire bytes given tribe size [n] (certificates embed an
-    ⌈n/8⌉-bit signer vector). *)
+    ⌈n/8⌉-bit signer vector). O(1): the edge-dependent part is cached at
+    construction. *)
 
 val has_strong_edge_to : t -> round:int -> source:int -> bool
 

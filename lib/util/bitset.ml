@@ -47,6 +47,22 @@ let iter f t =
       done
   done
 
+(* Byte [j] of the LSB-first packed bitmap: bit p of the result is member
+   8j + p. Words hold 63 bits, so a byte can straddle two words; gathering
+   it with shifts replaces the per-member read-modify-write loop the wire
+   codec used to run. *)
+let byte t j =
+  if j < 0 || j * 8 >= t.capacity then invalid_arg "Bitset.byte";
+  let lo = j * 8 in
+  let w = lo / 63 and off = lo mod 63 in
+  let bits = t.words.(w) lsr off in
+  let bits =
+    if off > 55 && w + 1 < Array.length t.words then
+      bits lor (t.words.(w + 1) lsl (63 - off))
+    else bits
+  in
+  bits land 0xff
+
 let fold f t init =
   let acc = ref init in
   iter (fun i -> acc := f i !acc) t;

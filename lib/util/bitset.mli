@@ -19,6 +19,13 @@ val add : t -> int -> bool
 val remove : t -> int -> bool
 val cardinal : t -> int
 val is_empty : t -> bool
+val byte : t -> int -> int
+(** [byte t j] is byte [j] of the LSB-first packed bitmap: bit [p] of the
+    result is set iff member [8j + p] is. Valid for
+    [0 <= j < (capacity + 7) / 8]; trailing bits past [capacity] are 0.
+    O(1) — the wire codec writes each bitmap byte with one call instead of
+    a read-modify-write per member. *)
+
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> int list

@@ -1,0 +1,143 @@
+(* Domain-based worker pool: a mutex/condvar-protected job queue drained by
+   [jobs - 1] worker domains plus the submitting thread itself during [map].
+   OCaml 5 stdlib only (Domain / Mutex / Condition) — no external deps.
+
+   Determinism contract: [map] returns results in input order and re-raises
+   the exception of the lowest-index failing job, so callers observe the
+   same outcome regardless of how jobs were scheduled across domains. Any
+   cross-job nondeterminism must come from the jobs themselves (shared
+   mutable state, wall clocks); jobs that are pure functions of their input
+   — like seeded simulations — yield bit-identical [map] results at every
+   pool width. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t; (* queue gained a job, or shutdown began *)
+  settled : Condition.t; (* a job finished (batch countdown moved) *)
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_var = "CLANBFT_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "%s=%S: expected a positive integer" env_var s))
+
+(* Workers block on [nonempty] until a job arrives or shutdown is flagged.
+   Jobs never raise: [map] wraps user functions so failures are carried
+   back as values. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stopping then None
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      settled = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  (* The caller participates in [map], so [jobs] total lanes need only
+     [jobs - 1] spawned domains; jobs = 1 degenerates to inline execution
+     and never touches Domain at all. *)
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* One [map] batch: slot [i] is written by exactly one domain, then read by
+   the caller only after it observed the batch complete under [t.mutex] —
+   the lock ordering makes the writes visible without per-slot atomics. *)
+type 'b outcome = Pending | Done of 'b | Failed of exn
+
+let map t f xs =
+  if t.stopping then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.jobs = 1 then Array.map f xs
+  else begin
+    let out = Array.make n Pending in
+    let remaining = ref n in
+    let job i () =
+      (out.(i) <- (match f xs.(i) with v -> Done v | exception e -> Failed e));
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.settled;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    (* Drain alongside the workers instead of blocking: the submitting
+       thread is the [jobs]-th lane; once the queue empties it sleeps on
+       [settled] until the in-flight jobs land. *)
+    let rec drain () =
+      if not (Queue.is_empty t.queue) then begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        job ();
+        Mutex.lock t.mutex;
+        drain ()
+      end
+      else if !remaining > 0 then begin
+        Condition.wait t.settled t.mutex;
+        drain ()
+      end
+    in
+    drain ();
+    Mutex.unlock t.mutex;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed e -> raise e
+        | Pending -> assert false)
+      out
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

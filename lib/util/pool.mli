@@ -1,0 +1,48 @@
+(** Domain-based worker pool (OCaml 5 [Domain] + mutex/condvar job queue).
+
+    Built for the bench harness: hundreds of fully independent deterministic
+    simulations fan out across cores, and results must come back in a
+    deterministic order so the printed tables are byte-identical at any
+    pool width. No external dependencies.
+
+    {b Determinism.} {!map} returns results in input order and, if several
+    jobs fail, re-raises the exception of the lowest-index failure — the
+    observable outcome is independent of cross-domain scheduling. Jobs that
+    are pure functions of their input (seeded simulations) therefore
+    produce bit-identical [map] results whether [jobs] is 1 or 64.
+
+    {b Sharing.} Jobs run concurrently on separate domains; they must not
+    share mutable state unless that state is itself synchronized. Every
+    simulation spawned by {!Clanbft_smr.Runner} owns its engine, RNG, net
+    and metric registry, so [Runner.run] specs are safe job payloads. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [CLANBFT_JOBS] environment variable when set (must be a positive
+    integer, else [Invalid_argument]), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the thread calling
+    {!map} is the remaining lane). Defaults to {!default_jobs}. [jobs = 1]
+    spawns nothing and runs every job inline. *)
+
+val jobs : t -> int
+(** Parallel width, including the caller's lane. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element concurrently and returns the
+    results in input order. Runs all jobs to completion even when some
+    fail, then re-raises the lowest-index exception if any. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent; a shut-down pool
+    rejects further {!map} calls. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
+    even on exception. *)

@@ -2,7 +2,7 @@
 
 let () =
   Alcotest.run "clanbft"
-    (Test_util.suites @ Test_bigint.suites @ Test_crypto.suites
+    (Test_util.suites @ Test_pool.suites @ Test_bigint.suites @ Test_crypto.suites
    @ Test_sim.suites @ Test_committee.suites @ Test_types.suites
    @ Test_rbc.suites @ Test_faults.suites @ Test_dag.suites
    @ Test_consensus.suites @ Test_poa.suites @ Test_smr.suites

@@ -1,0 +1,151 @@
+(* Worker pool: result ordering, exception propagation, CLANBFT_JOBS
+   parsing, and the determinism contract that the parallel bench relies on
+   — identical Runner results at every pool width. *)
+
+open Clanbft
+module Pool = Util.Pool
+
+(* ------------------------------------------------------------------ *)
+(* map semantics *)
+
+let test_map_ordering () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      (* Uneven job cost, so completion order differs from input order. *)
+      let f i =
+        let acc = ref 0 in
+        for k = 1 to (i mod 7) * 10_000 do
+          acc := !acc + k
+        done;
+        ignore !acc;
+        i * i
+      in
+      let ys = Pool.map pool f xs in
+      Alcotest.(check (array int)) "results in input order"
+        (Array.map (fun i -> i * i) xs)
+        ys)
+
+let test_map_empty_and_inline () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool (fun x -> x) [||]));
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "jobs=1 inline" [ 2; 4; 6 ]
+        (Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let ran = Array.make 10 false in
+      let f i =
+        ran.(i) <- true;
+        if i = 3 || i = 7 then failwith (string_of_int i);
+        i
+      in
+      (match Pool.map pool f (Array.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "lowest-index failure wins" "3" msg);
+      (* All jobs still ran to completion despite the failures. *)
+      Alcotest.(check bool) "all jobs ran" true (Array.for_all Fun.id ran);
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (array int)) "pool reusable after failure" [| 0; 1; 2 |]
+        (Pool.map pool Fun.id [| 0; 1; 2 |]))
+
+let test_shutdown_rejects_map () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [| 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* CLANBFT_JOBS parsing *)
+
+let with_env value f =
+  let old = Sys.getenv_opt "CLANBFT_JOBS" in
+  Unix.putenv "CLANBFT_JOBS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "CLANBFT_JOBS" (Option.value old ~default:""))
+    f
+
+let test_default_jobs_env () =
+  with_env "3" (fun () ->
+      Alcotest.(check int) "CLANBFT_JOBS=3" 3 (Pool.default_jobs ()));
+  with_env "" (fun () ->
+      Alcotest.(check bool) "empty falls back to recommended" true
+        (Pool.default_jobs () >= 1));
+  with_env "zero" (fun () ->
+      Alcotest.(check bool) "non-numeric rejected" true
+        (match Pool.default_jobs () with
+        | _ -> false
+        | exception Invalid_argument _ -> true));
+  with_env "0" (fun () ->
+      Alcotest.(check bool) "zero rejected" true
+        (match Pool.default_jobs () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across pool widths: the property the parallel bench's
+   byte-identical stdout rests on. Same specs, jobs=1 vs jobs=4 — every
+   field of every result must match exactly (floats bitwise). *)
+
+let sweep_specs () =
+  [| 20; 40; 60 |]
+  |> Array.map (fun load ->
+         {
+           Runner.default_spec with
+           n = 8;
+           protocol = Runner.Single_clan { nc = 5 };
+           txns_per_proposal = load;
+           duration = Sim.Time.s 2.;
+           warmup = Sim.Time.ms 500.;
+           seed = Int64.of_int (1000 + load);
+         })
+
+let check_results_equal (a : Runner.result array) b =
+  Alcotest.(check int) "same count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (ra : Runner.result) ->
+      let rb : Runner.result = b.(i) in
+      Alcotest.(check string) "label" ra.label rb.label;
+      Alcotest.(check int) "committed" ra.committed_txns rb.committed_txns;
+      Alcotest.(check int) "events" ra.events rb.events;
+      Alcotest.(check int) "rounds" ra.rounds rb.rounds;
+      Alcotest.(check int) "bytes" ra.bytes_total rb.bytes_total;
+      Alcotest.(check bool) "fingerprint" true
+        (ra.commit_fingerprint = rb.commit_fingerprint);
+      Alcotest.(check bool) "throughput bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float ra.throughput_ktps)
+           (Int64.bits_of_float rb.throughput_ktps));
+      Alcotest.(check bool) "latency bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float ra.latency_mean_ms)
+           (Int64.bits_of_float rb.latency_mean_ms)))
+    a
+
+let test_run_many_width_independent () =
+  let seq =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        Runner.run_many ~pool (sweep_specs ()))
+  in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Runner.run_many ~pool (sweep_specs ()))
+  in
+  check_results_equal seq par
+
+let suites =
+  [
+    ( "util.pool",
+      [
+        Alcotest.test_case "map ordering" `Quick test_map_ordering;
+        Alcotest.test_case "empty / jobs=1 inline" `Quick test_map_empty_and_inline;
+        Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+        Alcotest.test_case "shutdown rejects map" `Quick test_shutdown_rejects_map;
+        Alcotest.test_case "CLANBFT_JOBS parsing" `Quick test_default_jobs_env;
+        Alcotest.test_case "run_many width-independent" `Slow
+          test_run_many_width_independent;
+      ] );
+  ]

@@ -173,6 +173,45 @@ let test_bitset_union_into () =
   Alcotest.(check int) "cardinal" 3 (Bitset.cardinal a);
   Alcotest.(check bool) "has 3" true (Bitset.mem a 3)
 
+let test_bitset_byte () =
+  (* Straddle cases: a packed byte can span two 63-bit words (bytes 7,
+     15, … start at bit offsets > 55 within a word). *)
+  let b = Bitset.of_list 200 [ 0; 7; 56; 62; 63; 64; 71; 125; 126; 127; 199 ] in
+  let expected j =
+    let acc = ref 0 in
+    for p = 0 to 7 do
+      let i = (8 * j) + p in
+      if i < Bitset.capacity b && Bitset.mem b i then acc := !acc lor (1 lsl p)
+    done;
+    !acc
+  in
+  for j = 0 to ((Bitset.capacity b + 7) / 8) - 1 do
+    Alcotest.(check int) (Printf.sprintf "byte %d" j) (expected j) (Bitset.byte b j)
+  done;
+  (* A capacity that is an exact word multiple: the last byte's tail bits
+     live past the final word. *)
+  let c = Bitset.of_list 63 [ 56; 62 ] in
+  Alcotest.(check int) "last byte of 63-bit set" 0x41 (Bitset.byte c 7);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset.byte")
+    (fun () -> ignore (Bitset.byte c 8))
+
+let prop_bitset_byte_model =
+  QCheck.Test.make ~name:"bitset byte matches mem bit-by-bit" ~count:200
+    QCheck.(pair (int_range 1 200) (list (int_range 0 199)))
+    (fun (cap, ops) ->
+      let b = Bitset.create cap in
+      List.iter (fun i -> if i < cap then ignore (Bitset.add b i)) ops;
+      let ok = ref true in
+      for j = 0 to ((cap + 7) / 8) - 1 do
+        let byte = Bitset.byte b j in
+        for p = 0 to 7 do
+          let i = (8 * j) + p in
+          let expect = i < cap && Bitset.mem b i in
+          if expect <> (byte land (1 lsl p) <> 0) then ok := false
+        done
+      done;
+      !ok)
+
 let prop_bitset_model =
   QCheck.Test.make ~name:"bitset agrees with a list model" ~count:200
     QCheck.(list (int_range 0 199))
@@ -335,7 +374,9 @@ let suites =
         Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundaries;
         Alcotest.test_case "inter cardinal" `Quick test_bitset_inter_cardinal;
         Alcotest.test_case "union into" `Quick test_bitset_union_into;
+        Alcotest.test_case "packed bytes" `Quick test_bitset_byte;
         qtest prop_bitset_model;
+        qtest prop_bitset_byte_model;
       ] );
     ( "util.stats",
       [
