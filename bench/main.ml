@@ -21,8 +21,8 @@
 
    Sections can be selected on the command line:
      dune exec bench/main.exe -- [--jobs N] table1 fig1 concrete fig5a \
-       fig5b fig5c fig6 ablation-latency ablation-rbc faults metrics \
-       micro perf *)
+       fig5b fig5c fig6 ablation-latency ablation-rbc faults recovery \
+       metrics micro perf *)
 
 open Clanbft
 open Clanbft.Sim
@@ -536,6 +536,53 @@ let faults () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Crash–recovery: WAL replay + state sync (docs/RECOVERY.md) *)
+
+let recovery () =
+  section_header
+    "Crash-recovery — replica 3 crashes at 4 s, restarts from its WAL at 8 s";
+  let obs = Obs.metrics_only () in
+  let spec =
+    {
+      Runner.default_spec with
+      n = 16;
+      protocol = Runner.Single_clan { nc = 11 };
+      txns_per_proposal = 200;
+      duration = Time.s 12.;
+      warmup = Time.s 2.;
+      seed = point_seed "recovery-n16";
+      restarts =
+        [ { Faults.node = 3; crash_at = Time.s 4.; recover_at = Time.s 8. } ];
+      obs = Some obs;
+    }
+  in
+  let r, secs = wall (fun () -> Runner.run spec) in
+  progress "  recovery run: %.0fs wall\n" secs;
+  Printf.printf "  %-26s -> %8.1f kTPS  %7.1f ms  agree=%b\n" r.label
+    r.throughput_ktps r.latency_mean_ms r.agreement;
+  let fetched =
+    Metrics.fold obs.Obs.metrics ~init:0 ~f:(fun acc ~name ~labels:_ v ->
+        match (name, v) with
+        | "recovery_rounds_fetched", Metrics.Counter_v c -> acc + c
+        | _ -> acc)
+  in
+  Printf.printf "  state sync fetched %d rounds of certified vertices\n" fetched;
+  List.iter
+    (fun (node, c) ->
+      Printf.printf "  post-recovery commits [replica %d]: %d\n" node c)
+    r.post_recovery_commits;
+  Printf.printf "  commit fingerprint: %#x\n" r.commit_fingerprint;
+  if not r.agreement then begin
+    Printf.eprintf "  AGREEMENT VIOLATED after recovery\n";
+    exit 1
+  end;
+  if fetched = 0 || List.exists (fun (_, c) -> c = 0) r.post_recovery_commits
+  then begin
+    Printf.eprintf "  recovered replica made no post-recovery progress\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Metrics dumps: per-protocol observability registries (Fig. 5 companion) *)
 
 let metrics_dir = "bench_metrics"
@@ -962,6 +1009,7 @@ let sections =
     ("ablation-latency", ablation_latency);
     ("ablation-rbc", ablation_rbc);
     ("faults", faults);
+    ("recovery", recovery);
     ("metrics", metrics);
     ("micro", micro);
     ("perf", perf);

@@ -56,9 +56,27 @@ let fault_flags =
             Stdlib.exit 2)
     $ faults $ partitions $ mutes)
 
+let restarts_flag =
+  let restarts =
+    Arg.(value & opt_all string []
+         & info [ "restart" ]
+             ~doc:"Crash–recovery schedule for one replica, \
+                   $(b,NODE\\@CRASH:RECOVER), e.g. $(b,3\\@4s:8s): replica 3 \
+                   crashes at 4 s and restarts from its write-ahead log at \
+                   8 s. Repeatable (at most once per replica).")
+  in
+  Term.(
+    const (fun specs ->
+        match Faults.restarts_of_specs specs with
+        | Ok rs -> rs
+        | Error e ->
+            Printf.eprintf "bad restart spec: %s\n" e;
+            Stdlib.exit 2)
+    $ restarts)
+
 let sim_cmd =
   let run n protocol nc q load size duration warmup seed uniform crashed
-      fault_plan trace trace_chrome metrics_out verbose =
+      fault_plan restarts persist trace trace_chrome metrics_out verbose =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -100,6 +118,8 @@ let sim_cmd =
         topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
         crashed;
         fault_plan;
+        restarts;
+        persist;
         obs;
       }
     in
@@ -109,6 +129,13 @@ let sim_cmd =
       "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
       r.committed_txns r.rounds r.leaders_committed
       (float_of_int r.bytes_total /. 1e6);
+    if restarts <> [] then begin
+      Format.printf "commit fingerprint: %d@." r.commit_fingerprint;
+      List.iter
+        (fun (node, commits) ->
+          Format.printf "post-recovery commits [replica %d]: %d@." node commits)
+        r.post_recovery_commits
+    end;
     (match obs with
     | None -> ()
     | Some o ->
@@ -154,6 +181,13 @@ let sim_cmd =
   let crashed =
     Arg.(value & opt (list int) [] & info [ "crash" ] ~doc:"Replica ids that never start.")
   in
+  let persist =
+    Arg.(value & flag
+         & info [ "persist" ]
+             ~doc:"Run every replica over the simulated persistence layer \
+                   (journal deliveries to a write-ahead log). Implied by \
+                   $(b,--restart).")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -177,8 +211,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run a simulated geo-distributed experiment")
     Term.(
       const run $ n $ protocol $ nc $ q $ load $ size $ duration $ warmup $ seed
-      $ uniform $ crashed $ fault_flags $ trace $ trace_chrome $ metrics_out
-      $ verbose)
+      $ uniform $ crashed $ fault_flags $ restarts_flag $ persist $ trace
+      $ trace_chrome $ metrics_out $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* clan-size *)
@@ -358,7 +392,7 @@ let rbc_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run n protocol nc q loads size duration warmup seed uniform jobs =
+  let run n protocol nc q loads size duration warmup seed uniform restarts jobs =
     let protocol =
       match protocol with
       | `Full -> Runner.Full
@@ -393,6 +427,7 @@ let sweep_cmd =
                   which worker domain ran it or in what order. *)
                seed = Int64.add (Int64.of_int seed) (Int64.of_int (i * 7919));
                topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
+               restarts;
              })
            loads)
     in
@@ -441,7 +476,7 @@ let sweep_cmd =
              scheduling")
     Term.(
       const run $ n $ protocol $ nc $ q $ loads $ size $ duration $ warmup
-      $ seed $ uniform $ jobs)
+      $ seed $ uniform $ restarts_flag $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* latency *)

@@ -18,6 +18,7 @@ type params = {
   sync_retry : Time.span;
   pull_budget : int;
   gc_depth : int;
+  sync_chunk : int;
 }
 
 let default_params =
@@ -26,6 +27,7 @@ let default_params =
     sync_retry = Time.ms 150.;
     pull_budget = 8;
     gc_depth = 64;
+    sync_chunk = 64;
   }
 
 (* Per-digest vote state within a dissemination slot: equivocating
@@ -62,6 +64,8 @@ type obs_handles = {
   o_pull_retries : Metrics.counter;
   o_inserted : Metrics.counter;
   o_committed : Metrics.counter;
+  o_sync_rounds : Metrics.counter;
+  o_recovery_wall : Metrics.gauge;
 }
 
 type t = {
@@ -85,6 +89,17 @@ type t = {
   mutable proposed : bool; (* proposed in current round? *)
   mutable started : bool;
   mutable timer_epoch : int;
+  (* crash / recovery *)
+  mutable halted : bool; (* torn down: ignore messages and stale timers *)
+  mutable syncing : bool; (* recovering: pulling history, not proposing *)
+  mutable sync_target : int; (* highest round any sync peer reported *)
+  mutable sync_replies : int;
+  mutable min_propose_round : int; (* never re-propose a journalled round *)
+  mutable snapshot_joined : bool; (* rejoined past a GC'd gap *)
+  mutable recovery_started_at : Time.t;
+  sync_seen_rounds : (int, unit) Hashtbl.t;
+  on_deliver : Vertex.t -> unit; (* journal hook, fired before insertion *)
+  on_propose : round:int -> unit; (* journal hook, fired before VAL sends *)
   timeout_sent : (int, unit) Hashtbl.t;
   timeout_shares : (int, share_box) Hashtbl.t;
   no_vote_shares : (int, share_box) Hashtbl.t; (* only as leader of r+1 *)
@@ -114,6 +129,12 @@ let trace_phase t ~sender ~round phase =
   if Trace.enabled tr then
     Trace.emit tr ~ts:(Engine.now t.engine)
       (Trace.Rbc_phase { node = t.me; sender; round; phase })
+
+let trace_recovery t ~stage ~round =
+  let tr = t.obsh.o_trace in
+  if Trace.enabled tr then
+    Trace.emit tr ~ts:(Engine.now t.engine)
+      (Trace.Recovery { node = t.me; stage; round })
 
 let slot_of t ~round ~source =
   match Hashtbl.find_opt t.slots (round, source) with
@@ -214,15 +235,28 @@ let msg_round = function
       round
   | Msg.Timeout_cert c -> c.Cert.round
   | Msg.Block_reply { block } -> block.Block.round
+  (* State-sync control traffic carries no round of its own and is
+     dispatched before the GC-floor gate; never consulted. *)
+  | Msg.Sync_request _ | Msg.Sync_reply _ -> max_int
 
 let rec handle t ~src msg =
-  (* Traffic for garbage-collected rounds is dropped outright: it can no
-     longer affect the committed prefix, and processing it would recreate
-     pruned state (or try to insert below the store's floor). *)
-  if msg_round msg >= Store.floor t.store then handle_live t ~src msg
+  if not t.halted then
+    match msg with
+    (* State-sync control messages bypass the floor gate: a recovering
+       peer's [from_round] may sit below our floor, and a reply's floor
+       field is exactly what tells it so. *)
+    | Msg.Sync_request { from_round } -> on_sync_request t ~src ~from_round
+    | Msg.Sync_reply { floor; highest } -> on_sync_reply t ~floor ~highest
+    | _ ->
+        (* Traffic for garbage-collected rounds is dropped outright: it can
+           no longer affect the committed prefix, and processing it would
+           recreate pruned state (or try to insert below the store's
+           floor). *)
+        if msg_round msg >= Store.floor t.store then handle_live t ~src msg
 
 and handle_live t ~src msg =
   match msg with
+  | Msg.Sync_request _ | Msg.Sync_reply _ -> () (* dispatched in [handle] *)
   | Msg.Val { vertex; block; signature } -> on_val t ~src vertex block signature
   | Msg.Echo { round; source; vertex_digest; signer; signature } ->
       if src = signer then on_echo t ~round ~source ~digest:vertex_digest ~signer ~signature
@@ -403,6 +437,9 @@ and try_insert t (v : Vertex.t) =
   end
 
 and insert t (v : Vertex.t) =
+  (* Journal before acting: a crash after this point replays the vertex,
+     so nothing derived from it (votes, commits, echoes) is ever lost. *)
+  t.on_deliver v;
   Store.add t.store v;
   Hashtbl.remove t.pending (v.round, v.source);
   Metrics.incr t.obsh.o_inserted;
@@ -420,7 +457,8 @@ and insert t (v : Vertex.t) =
   in
   List.iter (fun child -> insert t child) unblocked;
   try_commit t;
-  maybe_advance t
+  maybe_advance t;
+  check_caught_up t
 
 (* --- missing data sync ---------------------------------------------- *)
 
@@ -461,7 +499,8 @@ and fetch_vertex t slot =
   end
 
 and vertex_fetch_loop t slot candidates =
-  if slot.vertex = None && slot.s_round >= Store.floor t.store then
+  if (not t.halted) && slot.vertex = None && slot.s_round >= Store.floor t.store
+  then
     match candidates with
     | [] ->
         (* Start over after a beat — delivery guarantees someone has it. *)
@@ -492,7 +531,8 @@ and maybe_fetch_block t slot =
   | _ -> ()
 
 and block_fetch_loop t slot candidates =
-  if slot.block = None && slot.s_round >= Store.floor t.store then
+  if (not t.halted) && slot.block = None && slot.s_round >= Store.floor t.store
+  then
     match candidates with
     | [] ->
         Engine.schedule_after t.engine t.params.sync_retry (fun () ->
@@ -550,6 +590,12 @@ and on_vertex_request t ~src ~round ~source =
   | _ -> ()
 
 and on_vertex_reply t (v : Vertex.t) block =
+  (* Recovery progress metric: count each distinct round we receive sync /
+     pull material for while catching up. *)
+  if t.syncing && not (Hashtbl.mem t.sync_seen_rounds v.round) then begin
+    Hashtbl.replace t.sync_seen_rounds v.round ();
+    Metrics.incr t.obsh.o_sync_rounds
+  end;
   let slot = slot_of t ~round:v.round ~source:v.source in
   if slot.vertex = None && vertex_valid t v then begin
     (* Accept only content matching the certified digest (if certified) or
@@ -574,6 +620,93 @@ and on_vertex_reply t (v : Vertex.t) block =
         maybe_fetch_block t slot
       end
     end
+  end
+
+(* --- state sync (crash recovery) ------------------------------------ *)
+
+and on_sync_request t ~src ~from_round =
+  (* Announce our window, then stream a bounded chunk of certified
+     vertices starting at the requester's frontier. Sync replies reuse the
+     ordinary [Vertex_reply] path (same validation, same insertion), and
+     are streamed in ascending round order so parents always precede
+     children. The requester re-asks from its new frontier, so a chunk cap
+     bounds per-request burst size without capping total transfer. *)
+  let floor = Store.floor t.store in
+  let highest = Store.highest_round t.store in
+  Net.send t.net ~src:t.me ~dst:src (Msg.Sync_reply { floor; highest });
+  let lo = max from_round floor in
+  let hi = min highest (lo + t.params.sync_chunk - 1) in
+  for r = lo to hi do
+    List.iter
+      (fun (vertex : Vertex.t) ->
+        let block =
+          if Config.in_payload_clan t.config ~proposer:vertex.source src then
+            Hashtbl.find_opt t.blocks (vertex.round, vertex.source)
+          else None
+        in
+        Net.send t.net ~src:t.me ~dst:src (Msg.Vertex_reply { vertex; block }))
+      (Store.vertices_at t.store r)
+  done
+
+and on_sync_reply t ~floor ~highest =
+  if t.syncing then begin
+    t.sync_replies <- t.sync_replies + 1;
+    if highest > t.sync_target then t.sync_target <- highest;
+    (* The peer garbage-collected past our frontier: the gap can never be
+       refilled vertex by vertex. Adopt the peer's floor as a join point —
+       everything below it is already committed by a quorum and pruned
+       everywhere we could ask. *)
+    if floor > Store.highest_round t.store + 1 then begin
+      Store.prune_below t.store ~round:floor;
+      if floor - 1 > t.last_committed then t.last_committed <- floor - 1;
+      t.snapshot_joined <- true;
+      let doomed =
+        Hashtbl.fold
+          (fun ((r, _) as k) _ acc -> if r < floor then k :: acc else acc)
+          t.pending []
+      in
+      List.iter (Hashtbl.remove t.pending) doomed;
+      trace_recovery t ~stage:"snapshot_join" ~round:floor
+    end;
+    check_caught_up t
+  end
+
+and check_caught_up t =
+  if
+    t.syncing && t.sync_replies > 0
+    && Store.highest_round t.store >= t.sync_target
+    && t.round > t.sync_target
+  then begin
+    (* Caught up: our DAG covers every round a peer reported and our round
+       clock has moved past them, so any round we now propose in is fresh —
+       no journalled proposal can exist for it. *)
+    t.syncing <- false;
+    if t.round > t.min_propose_round then t.min_propose_round <- t.round;
+    Metrics.set t.obsh.o_recovery_wall
+      (Time.to_ms (Engine.now t.engine - t.recovery_started_at));
+    trace_recovery t ~stage:"caught_up" ~round:t.round;
+    Log.debug (fun m -> m "node %d caught up at r%d" t.me t.round);
+    arm_timer t;
+    maybe_propose t
+  end
+
+and sync_tick t ~cursor ~cycles ~last_frontier =
+  if (not t.halted) && t.syncing then begin
+    let n = Config.n t.config in
+    let frontier = Store.highest_round t.store in
+    (* Progress resets the backoff; a dry spell (partitioned peers, lost
+       replies) backs off like the pull path, capped at 16x. *)
+    let cycles = if frontier > last_frontier then 0 else cycles in
+    let peer = cursor mod n in
+    let peer = if peer = t.me then (peer + 1) mod n else peer in
+    Metrics.incr t.obsh.o_pull_retries;
+    Net.send t.net ~src:t.me ~dst:peer
+      (Msg.Sync_request { from_round = frontier + 1 });
+    let backoff = t.params.sync_retry * (1 lsl min cycles 4) in
+    Engine.schedule_after t.engine backoff (fun () ->
+        sync_tick t ~cursor:(peer + 1) ~cycles:(cycles + 1)
+          ~last_frontier:frontier);
+    check_caught_up t
   end
 
 (* --- leader votes and commits --------------------------------------- *)
@@ -720,9 +853,14 @@ and garbage_collect t =
 and maybe_advance t =
   if t.started then begin
     let r = t.round in
+    (* While state-syncing we advance on a quorum of vertices alone: the
+       leader-or-TC condition is unattainable for history (timeout-share
+       quorums are exact, so old TCs can never re-form for a late joiner),
+       and it only exists to pace live rounds anyway. *)
     if
       Store.count_at t.store r >= quorum t
-      && (Store.mem t.store ~round:r ~source:(leader_of t r)
+      && (t.syncing
+         || Store.mem t.store ~round:r ~source:(leader_of t r)
          || Hashtbl.mem t.tcs r)
     then advance t (r + 1)
     else maybe_propose t
@@ -732,14 +870,20 @@ and advance t r =
   if r > t.round then begin
     t.round <- r;
     t.proposed <- false;
-    arm_timer t;
+    (* No round timer during state sync: historical rounds are not late,
+       and timeout shares for them would be noise. [check_caught_up] arms
+       the timer when live operation resumes. *)
+    if not t.syncing then arm_timer t;
     maybe_propose t;
     (* Catch up if successor rounds are already complete. *)
     maybe_advance t
   end
 
 and maybe_propose t =
-  if t.started && not t.proposed then begin
+  if
+    t.started && (not t.proposed) && (not t.syncing)
+    && t.round >= t.min_propose_round
+  then begin
     let r = t.round in
     if r = 0 then propose t r
     else begin
@@ -773,6 +917,9 @@ and mark_covered t refs =
 
 and propose t r =
   t.proposed <- true;
+  (* Journal the round before any VAL leaves: after a crash the replayed
+     marker forbids re-proposing it, so we can never equivocate. *)
+  t.on_propose ~round:r;
   let strong_edges =
     if r = 0 then [||]
     else
@@ -843,7 +990,7 @@ and arm_timer t =
       if t.timer_epoch = epoch && t.round = r then on_round_timeout t r)
 
 and on_round_timeout t r =
-  if not (Hashtbl.mem t.timeout_sent r) then begin
+  if (not t.halted) && not (Hashtbl.mem t.timeout_sent r) then begin
     Hashtbl.replace t.timeout_sent r ();
     let signature =
       Keychain.sign t.keychain ~signer:t.me (Cert.signing_string Cert.Timeout r)
@@ -915,11 +1062,60 @@ let start t =
   arm_timer t;
   maybe_propose t
 
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+let halt t = t.halted <- true
+let recovering t = t.syncing
+let snapshot_joined t = t.snapshot_joined
+
+let note_proposed t ~round =
+  if round + 1 > t.min_propose_round then t.min_propose_round <- round + 1
+
+let replay_block t (b : Block.t) =
+  let slot = slot_of t ~round:b.round ~source:b.proposer in
+  if slot.block = None then slot.block <- Some b;
+  if not (Hashtbl.mem t.blocks (b.round, b.proposer)) then
+    Hashtbl.replace t.blocks (b.round, b.proposer) b
+
+let replay_vertex t (v : Vertex.t) =
+  if
+    v.round >= Store.floor t.store
+    && not (Store.mem t.store ~round:v.round ~source:v.source)
+  then begin
+    let slot = slot_of t ~round:v.round ~source:v.source in
+    (* The vertex was journalled after RBC delivery, so its digest was
+       certified and our echo (if any) is long sent: restore the slot in
+       its terminal state so nothing is re-broadcast during replay. *)
+    slot.vertex <- Some v;
+    slot.delivered <- true;
+    slot.agreed <- Some v.digest;
+    slot.echoed <- true;
+    slot.cert_sent <- true;
+    (match Hashtbl.find_opt t.blocks (v.round, v.source) with
+    | Some b -> slot.block <- Some b
+    | None -> ());
+    register_vote t v;
+    try_insert t v
+  end
+
+let start_recovery t =
+  t.started <- true;
+  t.syncing <- true;
+  t.recovery_started_at <- Engine.now t.engine;
+  let frontier = Store.highest_round t.store in
+  if frontier > t.sync_target then t.sync_target <- frontier;
+  trace_recovery t ~stage:"sync_start" ~round:frontier;
+  Log.debug (fun m -> m "node %d starts state sync from r%d" t.me frontier);
+  sync_tick t ~cursor:(t.me + 1) ~cycles:0 ~last_frontier:(-1);
+  maybe_advance t
+
 let block_of t ~round ~source = Hashtbl.find_opt t.blocks (round, source)
 let vertex_of t ~round ~source = Store.find t.store ~round ~source
 
 let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
-    ?(obs = Obs.disabled) ~make_block ~on_commit ?(on_block = fun _ -> ()) () =
+    ?(obs = Obs.disabled) ~make_block ~on_commit ?(on_block = fun _ -> ())
+    ?(on_deliver = fun _ -> ()) ?(on_propose = fun ~round:_ -> ()) () =
   let node_label = [ ("node", string_of_int me) ] in
   let obsh =
     {
@@ -930,6 +1126,11 @@ let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
         Metrics.counter obs.Obs.metrics ~labels:node_label "dag_vertices_inserted";
       o_committed =
         Metrics.counter obs.Obs.metrics ~labels:node_label "dag_vertices_committed";
+      o_sync_rounds =
+        Metrics.counter obs.Obs.metrics ~labels:node_label
+          "recovery_rounds_fetched";
+      o_recovery_wall =
+        Metrics.gauge obs.Obs.metrics ~labels:node_label "recovery_wall_ms";
     }
   in
   let t =
@@ -952,6 +1153,16 @@ let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
       proposed = false;
       started = false;
       timer_epoch = 0;
+      halted = false;
+      syncing = false;
+      sync_target = -1;
+      sync_replies = 0;
+      min_propose_round = 0;
+      snapshot_joined = false;
+      recovery_started_at = Time.zero;
+      sync_seen_rounds = Hashtbl.create 64;
+      on_deliver;
+      on_propose;
       timeout_sent = Hashtbl.create 8;
       timeout_shares = Hashtbl.create 8;
       no_vote_shares = Hashtbl.create 8;

@@ -42,6 +42,8 @@ type params = {
       (** re-request cadence for missing blocks / vertices *)
   pull_budget : int;  (** served pulls per (slot, peer): rate limiting *)
   gc_depth : int;  (** rounds kept below the last committed leader *)
+  sync_chunk : int;
+      (** max rounds of vertices streamed per state-sync request *)
 }
 
 val default_params : params
@@ -59,6 +61,8 @@ val create :
   make_block:(round:int -> Transaction.t array) ->
   on_commit:(leader:Vertex.t -> Vertex.t list -> unit) ->
   ?on_block:(Block.t -> unit) ->
+  ?on_deliver:(Vertex.t -> unit) ->
+  ?on_propose:(round:int -> unit) ->
   unit ->
   t
 (** Wires the node to the network (installs its handler) but does not start
@@ -71,13 +75,70 @@ val create :
     [obs] (default {!Clanbft_obs.Obs.disabled}) receives RBC phase
     transitions (VAL accepted / ECHO sent / certificate), vertex
     deliveries and commits as trace events, and maintains the per-node
-    counters [sailfish_pull_retries{node}], [dag_vertices_inserted{node}]
-    and [dag_vertices_committed{node}]. Tracing never perturbs the run:
-    with the same seed, a traced and an untraced run commit bit-identical
-    sequences. *)
+    counters [sailfish_pull_retries{node}], [dag_vertices_inserted{node}],
+    [dag_vertices_committed{node}], [recovery_rounds_fetched{node}] and the
+    gauge [recovery_wall_ms{node}]. Tracing never perturbs the run: with
+    the same seed, a traced and an untraced run commit bit-identical
+    sequences.
+
+    [on_deliver] is the write-ahead-log hook: it fires with every vertex
+    {e immediately before} it enters the DAG store, in insertion order (so
+    the journal is parent-closed — every prefix of it is replayable).
+    [on_propose] fires with the round number immediately before this
+    node's VAL messages for that round are sent; journalling it forbids
+    re-proposing the round after a crash (no equivocation). *)
 
 val start : t -> unit
 (** Propose the round-0 vertex and arm the first timer. *)
+
+(** {1 Crash recovery}
+
+    Tearing a replica down and bringing it back is a four-step dance (see
+    [docs/RECOVERY.md]): {!halt} the old instance; re-[create] a fresh one
+    (which re-installs the network handler, orphaning the old instance);
+    replay the write-ahead log through {!replay_block}, {!replay_vertex}
+    and {!note_proposed}; then {!start_recovery} instead of {!start}. *)
+
+val halt : t -> unit
+(** Permanently silence this instance: incoming messages are dropped and
+    every pending timer / fetch / sync callback becomes a no-op. Models
+    the process dying; pair with [Persist.crash] for its disk. *)
+
+val replay_block : t -> Block.t -> unit
+(** Restore one journalled block (call before the vertices that carry
+    it). Does not re-fire [on_block]. *)
+
+val replay_vertex : t -> Vertex.t -> unit
+(** Restore one journalled (hence RBC-delivered) vertex: the slot is
+    rebuilt in its terminal state — no echoes or certificates are re-sent
+    — the leader vote is re-registered and the vertex re-inserted, firing
+    [on_commit] for everything the replayed DAG re-orders. Replaying the
+    log in append order yields a commit sequence that is a prefix of the
+    pre-crash one. Vertices below the GC floor are skipped. *)
+
+val note_proposed : t -> round:int -> unit
+(** Record a journalled own-proposal marker: the node will never propose
+    in [round] (or below) again, which rules out equivocation even though
+    the original VAL may still be in flight. *)
+
+val start_recovery : t -> unit
+(** Start in state-sync mode instead of {!start}: announce the local
+    frontier with [Sync_request]s (round-robin over peers, capped
+    exponential backoff), insert the streamed certified vertices, and
+    advance the round clock without the leader-or-TC pacing condition.
+    The node proposes only once caught up: a peer replied, the DAG covers
+    every round a peer reported, and the round clock has passed them —
+    from then on it behaves exactly like a {!start}ed node. *)
+
+val recovering : t -> bool
+(** Still in state-sync mode (not yet caught up)? *)
+
+val snapshot_joined : t -> bool
+(** True if recovery had to skip a garbage-collected gap: every reachable
+    peer had pruned past this node's frontier, so it adopted a peer's GC
+    floor and its post-recovery ledger starts there instead of at the
+    journal's end. Such a node's full-history fingerprint is not
+    comparable to the others'. *)
 
 val me : t -> int
 val current_round : t -> int

@@ -376,6 +376,45 @@ let mute_of_string s =
       in
       Ok m
 
+(* Restarts are replica lifecycle, not a network filter: the runner tears
+   the node down at [crash_at] and rebuilds it from its write-ahead log at
+   [recover_at]. Parsed here so the fault DSL covers all failure modes.
+   Declared after [install] so its [node] field does not shadow [mute]'s. *)
+type restart = { node : int; crash_at : Time.t; recover_at : Time.t }
+
+(* "i@t1:t2" — replica [i] crashes at [t1] and recovers at [t2]. *)
+let restart_of_string s =
+  let s = String.trim s in
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "expected node@crash:recover, got %S" s)
+  | Some i -> (
+      let* node = parse_int (String.sub s 0 i) in
+      let times = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt times ':' with
+      | None -> Error (Printf.sprintf "expected crash:recover times in %S" s)
+      | Some j ->
+          let* crash_at = parse_time (String.sub times 0 j) in
+          let* recover_at =
+            parse_time (String.sub times (j + 1) (String.length times - j - 1))
+          in
+          if node < 0 then Error "restart: negative node id"
+          else if crash_at >= recover_at then
+            Error "restart: recovery must come after the crash"
+          else Ok { node; crash_at; recover_at })
+
+let restarts_of_specs specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* r =
+          Result.map_error
+            (fun e -> Printf.sprintf "%s (in %S)" e s)
+            (restart_of_string s)
+        in
+        go (r :: acc) rest
+  in
+  go [] specs
+
 let plan_of_specs ?(rules = []) ?(partitions = []) ?(mutes = []) () =
   let map parse specs =
     let rec go acc = function

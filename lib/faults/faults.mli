@@ -74,6 +74,18 @@ type mute = {
   after_time : Time.t;  (** and everything the node sends from this time on *)
 }
 
+type restart = {
+  node : int;
+  crash_at : Time.t;
+  recover_at : Time.t;
+      (** The replica is torn down at [crash_at] (process and volatile
+          state lost, pending disk writes discarded) and rebuilt at
+          [recover_at] from its write-ahead log plus peer state sync (see
+          [docs/RECOVERY.md]). Restarts are executed by the runner's
+          lifecycle scheduler, not by the network filter, so they are
+          carried in [Runner.spec] rather than in {!plan}. *)
+}
+
 type plan = {
   rules : rule list;  (** first matching rule wins *)
   partitions : partition list;
@@ -128,12 +140,18 @@ val duplicated : _ t -> int
       [until] field is the heal time, at which buffered cross-group
       traffic is released (omit it for a permanent cut, which drops).
     - mute: [NODE(:round=R)?(:time=T)?], e.g. [3:round=10].
+    - restart: [NODE@CRASH:RECOVER], e.g. [3@4s:8s].
 
     Times accept [us]/[ms]/[s] suffixes; a bare integer is microseconds. *)
 
 val rule_of_string : string -> (rule, string) result
 val partition_of_string : string -> (partition, string) result
 val mute_of_string : string -> (mute, string) result
+
+val restart_of_string : string -> (restart, string) result
+(** Parse [NODE@CRASH:RECOVER]; rejects [crash_at >= recover_at]. *)
+
+val restarts_of_specs : string list -> (restart list, string) result
 
 val plan_of_specs :
   ?rules:string list ->

@@ -32,6 +32,7 @@ type event =
   | Vertex_deliver of { node : int; round : int; source : int }
   | Vertex_commit of { node : int; round : int; source : int; leader_round : int }
   | Fault_fire of { rule : int; action : string; kind : string; src : int; dst : int }
+  | Recovery of { node : int; stage : string; round : int }
 
 type record = { ts : int; ev : event }
 
@@ -134,6 +135,10 @@ let jsonl_of_record { ts; ev } =
       Printf.sprintf
         {|{"ts":%d,"type":"fault_fire","rule":%d,"action":"%s","kind":"%s","src":%d,"dst":%d}|}
         ts rule (escape action) (escape kind) src dst
+  | Recovery { node; stage; round } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"recovery","node":%d,"stage":"%s","round":%d}|}
+        ts node (escape stage) round
 
 (* --- parsing our own output back ----------------------------------- *)
 
@@ -238,6 +243,11 @@ let of_jsonl_line line =
         let* src = int_field line "src" in
         let* dst = int_field line "dst" in
         Some (Fault_fire { rule; action; kind; src; dst })
+    | "recovery" ->
+        let* node = int_field line "node" in
+        let* stage = str_field line "stage" in
+        let* round = int_field line "round" in
+        Some (Recovery { node; stage; round })
     | _ -> None
   in
   Some { ts; ev }
@@ -317,7 +327,13 @@ let write_chrome t path =
           chrome_instant b
             ~name:(Printf.sprintf "fault %s %s" action kind)
             ~cat:"fault" ~ts ~pid:src ~tid:4
-            ~args:(Printf.sprintf {|"rule":%d,"dst":%d|} rule dst));
+            ~args:(Printf.sprintf {|"rule":%d,"dst":%d|} rule dst)
+      | Recovery { node; stage; round } ->
+          note_pid node;
+          chrome_instant b
+            ~name:(Printf.sprintf "recovery %s r%d" stage round)
+            ~cat:"recovery" ~ts ~pid:node ~tid:5
+            ~args:(Printf.sprintf {|"round":%d|} round));
   (* Drop the trailing comma when any event was written. *)
   let s = Buffer.contents b in
   let s =

@@ -82,6 +82,13 @@ type event =
       src : int;
       dst : int;
     }
+  | Recovery of {
+      node : int;
+      stage : string;
+          (** lifecycle stage: ["crash"], ["replay"], ["sync_start"],
+              ["snapshot_join"] or ["caught_up"] *)
+      round : int;  (** the stage's reference round (frontier / target) *)
+    }  (** Crash-recovery lifecycle transitions (see [docs/RECOVERY.md]). *)
 
 type record = { ts : int; ev : event }
 

@@ -47,6 +47,7 @@ type msg =
     }
   | Pull_request of { sender : int; round : int }
   | Pull_reply of { sender : int; round : int; value : string }
+  | Sync_request of { sender : int; round : int }
 
 let msg_size ~n m =
   let sig_opt = function None -> 0 | Some _ -> Keychain.signature_size in
@@ -59,6 +60,7 @@ let msg_size ~n m =
       1 + 4 + 4 + Digest32.size + Keychain.signature_size + ((n + 7) / 8)
   | Pull_request _ -> 1 + 4 + 4
   | Pull_reply { value; _ } -> 1 + 4 + 4 + 4 + String.length value
+  | Sync_request _ -> 1 + 4 + 4
 
 let msg_tag = function
   | Val _ -> "val"
@@ -68,6 +70,7 @@ let msg_tag = function
   | Echo_cert _ -> "echo_cert"
   | Pull_request _ -> "pull_request"
   | Pull_reply _ -> "pull_reply"
+  | Sync_request _ -> "sync_request"
 
 let msg_round = function
   | Val { round; _ }
@@ -76,7 +79,8 @@ let msg_round = function
   | Ready { round; _ }
   | Echo_cert { round; _ }
   | Pull_request { round; _ }
-  | Pull_reply { round; _ } ->
+  | Pull_reply { round; _ }
+  | Sync_request { round; _ } ->
       Some round
 
 let echo_signing_string ~sender ~round digest =
@@ -102,6 +106,7 @@ type instance = {
   mutable sent_echo : bool;
   mutable sent_ready : bool;
   mutable sent_cert : bool;
+  mutable cert : Keychain.aggregate option; (* kept to serve late joiners *)
   mutable delivered : outcome option;
   mutable pulling : bool;
   mutable pull_candidates : int list; (* remainder of the current sweep *)
@@ -200,6 +205,7 @@ and instance_of t ~sender ~round =
           sent_echo = false;
           sent_ready = false;
           sent_cert = false;
+          cert = None;
           delivered = None;
           pulling = false;
           pull_candidates = [];
@@ -345,6 +351,7 @@ and on_echo_quorum t inst digest (v : votes) =
         match Keychain.aggregate t.keychain ~msg v.shares with
         | None -> ()
         | Some agg ->
+            inst.cert <- Some agg;
             Net.broadcast t.net ~src:t.me
               (Echo_cert { sender = inst.sender; round = inst.round; digest; agg });
             try_deliver t inst digest
@@ -417,7 +424,10 @@ and handle_echo_cert t inst ~digest ~agg =
       total >= quorum t
       && clan_count >= t.clan_quorum
       && Keychain.verify_aggregate t.keychain ~msg agg
-    then try_deliver t inst digest
+    then begin
+      inst.cert <- Some agg;
+      try_deliver t inst digest
+    end
   end
 
 and handle_pull_request t inst ~src =
@@ -430,6 +440,33 @@ and handle_pull_request t inst ~src =
         Net.send t.net ~src:t.me ~dst:src
           (Pull_reply { sender = inst.sender; round = inst.round; value })
       end
+
+and handle_sync_request t inst ~src =
+  (* A late joiner (e.g. a recovered crash) asks peers to re-prove an old
+     instance. Only delivered instances answer: the signed protocols
+     resend the stored ECHO certificate (one message re-completes the
+     requester); the Bracha family resends this node's READY — totality
+     gives 2f+1 delivered peers, so the requester re-forms a READY quorum
+     from the responses alone. *)
+  match (inst.delivered, inst.agreed) with
+  | Some _, Some digest ->
+      if is_signed t.protocol then (
+        match inst.cert with
+        | Some agg ->
+            Net.send t.net ~src:t.me ~dst:src
+              (Echo_cert { sender = inst.sender; round = inst.round; digest; agg })
+        | None -> ())
+      else
+        Net.send t.net ~src:t.me ~dst:src
+          (Ready
+             {
+               sender = inst.sender;
+               round = inst.round;
+               digest;
+               signer = t.me;
+               signature = None;
+             })
+  | _ -> ()
 
 and handle_pull_reply t inst ~value =
   if inst.delivered = None && entitled_to_value t then
@@ -467,6 +504,12 @@ and handle t ~src m =
       handle_pull_request t (instance_of t ~sender ~round) ~src
   | Pull_reply { sender; round; value } ->
       handle_pull_reply t (instance_of t ~sender ~round) ~value
+  | Sync_request { sender; round } ->
+      handle_sync_request t (instance_of t ~sender ~round) ~src
+
+let request_sync t ~sender ~round =
+  if Option.is_none (instance_of t ~sender ~round).delivered then
+    Net.broadcast t.net ~src:t.me (Sync_request { sender; round })
 
 let broadcast t ~round value =
   let inst = instance_of t ~sender:t.me ~round in

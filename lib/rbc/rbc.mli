@@ -63,6 +63,9 @@ type msg =
     }
   | Pull_request of { sender : int; round : int }
   | Pull_reply of { sender : int; round : int; value : string }
+  | Sync_request of { sender : int; round : int }
+      (** ask peers to re-prove an already-completed instance (late join /
+          crash recovery); see {!request_sync} *)
 
 val msg_size : n:int -> msg -> int
 (** Wire bytes; plug into {!Clanbft_sim.Net.create}. *)
@@ -114,5 +117,16 @@ val create :
 
 val broadcast : node -> round:int -> string -> unit
 (** r_bcast: disseminate a value as the designated sender. *)
+
+val request_sync : node -> sender:int -> round:int -> unit
+(** Ask all peers to re-prove an old instance this node missed (it was
+    down, or behind a partition, while the instance completed). Peers that
+    delivered respond: in the signed protocols with their stored ECHO
+    certificate — one valid response re-completes the instance — and in
+    the Bracha family with a directed READY each, so responses from the
+    ≥ 2f+1 delivered peers re-form a READY quorum at the requester.
+    Totality of RBC makes both sufficient. No-op if this node already
+    delivered the instance. Missing payloads then follow the ordinary
+    pull path. *)
 
 val delivered : node -> sender:int -> round:int -> outcome option

@@ -9,7 +9,6 @@ type tracked = {
   required : int;
   (* per candidate digest: which executors vouched for it *)
   votes : Clanbft_util.Bitset.t Digest32.Tbl.t;
-  mutable completed_at : Clanbft_sim.Time.t option;
 }
 
 type t = {
@@ -18,24 +17,36 @@ type t = {
   id : int;
   on_complete : (Transaction.t -> latency:Clanbft_sim.Time.span -> unit) option;
   inflight : (int, tracked) Hashtbl.t;
+  mutable pending : int;
   mutable next_seq : int;
   mutable completed : int;
   latencies : Stats.t;
 }
 
+(* Transaction ids pack (client id, sequence) into one int: [id lsl 40]
+   leaves 40 bits of sequence space, and 22 client-id bits keep the pack
+   inside OCaml's 63-bit int (sign bit untouched). *)
+let max_client_id = (1 lsl 22) - 1
+let max_seq = 1 lsl 40
+
 let create ~engine ~config ~id ?on_complete () =
+  if id < 0 || id > max_client_id then
+    invalid_arg "Client.create: id out of range (22 bits)";
   {
     engine;
     config;
     id;
     on_complete;
     inflight = Hashtbl.create 64;
+    pending = 0;
     next_seq = 0;
     completed = 0;
     latencies = Stats.create ();
   }
 
 let make_txn t ?size () =
+  if t.next_seq >= max_seq then
+    invalid_arg "Client.make_txn: sequence space exhausted (40 bits)";
   let id = (t.id lsl 40) lor t.next_seq in
   t.next_seq <- t.next_seq + 1;
   Transaction.make ~id ~client:t.id ~created_at:(Engine.now t.engine) ?size ()
@@ -44,19 +55,14 @@ let track t txn ~clan =
   if clan < 0 || clan >= Config.clan_count t.config then
     invalid_arg "Client.track: no such clan";
   let required = Config.clan_fault_bound t.config clan + 1 in
+  if not (Hashtbl.mem t.inflight txn.Transaction.id) then
+    t.pending <- t.pending + 1;
   Hashtbl.replace t.inflight txn.Transaction.id
-    {
-      txn;
-      clan;
-      required;
-      votes = Digest32.Tbl.create 2;
-      completed_at = None;
-    }
+    { txn; clan; required; votes = Digest32.Tbl.create 2 }
 
 let deliver_response t ~executor txn digest =
   match Hashtbl.find_opt t.inflight txn.Transaction.id with
-  | None -> ()
-  | Some tracked when tracked.completed_at <> None -> ()
+  | None -> () (* unknown or already completed (entry evicted) *)
   | Some tracked ->
       if Config.clan_of t.config executor = Some tracked.clan then begin
         let votes =
@@ -72,7 +78,12 @@ let deliver_response t ~executor txn digest =
           && Clanbft_util.Bitset.cardinal votes >= tracked.required
         then begin
           let now = Engine.now t.engine in
-          tracked.completed_at <- Some now;
+          (* Evict on completion: a long-lived client would otherwise
+             retain one tracked entry (votes and all) per transaction it
+             ever sent. The counters and latency stats survive eviction;
+             stray late responses fall into the [None] branch above. *)
+          Hashtbl.remove t.inflight txn.Transaction.id;
+          t.pending <- t.pending - 1;
           t.completed <- t.completed + 1;
           let latency = now - tracked.txn.created_at in
           Stats.add t.latencies (Clanbft_sim.Time.to_ms latency);
@@ -83,10 +94,6 @@ let deliver_response t ~executor txn digest =
       end
 
 let completed t = t.completed
-
-let pending t =
-  Hashtbl.fold
-    (fun _ tr acc -> if tr.completed_at = None then acc + 1 else acc)
-    t.inflight 0
+let pending t = t.pending
 
 let mean_latency_ms t = if Stats.is_empty t.latencies then 0.0 else Stats.mean t.latencies

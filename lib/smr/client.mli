@@ -18,10 +18,15 @@ val create :
   ?on_complete:(Transaction.t -> latency:Clanbft_sim.Time.span -> unit) ->
   unit ->
   t
+(** Raises [Invalid_argument] if [id] does not fit the 22 client-id bits
+    of the transaction-id packing (see {!make_txn}). *)
 
 val make_txn : t -> ?size:int -> unit -> Transaction.t
 (** Fresh transaction stamped with the current simulated time; ids are
-    unique per client ([id] in the high bits). *)
+    unique per client: 22 bits of client [id] (high) packed with 40 bits
+    of sequence number (low), staying inside OCaml's 63-bit [int]. Raises
+    [Invalid_argument] once the per-client sequence space is exhausted
+    ([2^40] transactions) rather than silently colliding. *)
 
 val track : t -> Transaction.t -> clan:int -> unit
 (** Register the transaction as submitted towards [clan]; responses are
@@ -33,6 +38,12 @@ val deliver_response : t -> executor:int -> Transaction.t -> Digest32.t -> unit
     transaction. *)
 
 val completed : t -> int
+
 val pending : t -> int
+(** Tracked transactions not yet completed — O(1). Completed entries are
+    evicted from the tracking table (only counters and latency stats are
+    retained), so a long-lived client's footprint is bounded by its
+    in-flight window, not its lifetime. *)
+
 val mean_latency_ms : t -> float
 (** Mean submit→accept latency over completed transactions. *)

@@ -22,8 +22,18 @@ let submit t txn =
   end
 
 let take t ~max =
+  (* An explicit loop: [Array.init] with an effectful initializer would pop
+     in unspecified element order, scrambling FIFO fairness. *)
   let count = min max (Queue.length t.queue) in
-  Array.init count (fun _ -> Queue.pop t.queue)
+  if count = 0 then [||]
+  else begin
+    let first = Queue.pop t.queue in
+    let out = Array.make count first in
+    for i = 1 to count - 1 do
+      out.(i) <- Queue.pop t.queue
+    done;
+    out
+  end
 
 let pending t = Queue.length t.queue
 let submitted_total t = t.submitted

@@ -80,12 +80,34 @@ let on_block_internal t (b : Block.t) =
   (match t.persist with
   | None -> ()
   | Some p ->
+      (* Journal the full block (recovery needs the payload back), plus the
+         metadata-only state write the execution path always made. *)
+      Persist.wal_append p
+        ~key:(Printf.sprintf "wal/b/%d/%d" b.round b.proposer)
+        ~data:(Codec.encode_block b);
       Persist.put p
         ~key:(Printf.sprintf "block/%d/%d" b.round b.proposer)
         ~size:(Block.wire_size b)
         ~on_durable:(fun () -> ())
         ());
   if t.executes then drain t
+
+(* WAL hooks: journal every RBC delivery before the consensus layer acts on
+   it, and every own-proposal round before its VAL messages leave. *)
+
+let journal_deliver t (v : Vertex.t) =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Persist.wal_append p
+        ~key:(Printf.sprintf "wal/v/%d/%d" v.round v.source)
+        ~data:(Codec.encode_vertex ~n:(Config.n t.config) v)
+
+let journal_propose t ~round =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Persist.wal_append p ~key:(Printf.sprintf "wal/p/%d" round) ~data:""
 
 let create ~me ~config ~keychain ~engine ~net ?params ?obs
     ?(max_block_txns = 6000) ?persist ?generate ?on_commit ?on_txn_executed () =
@@ -111,9 +133,39 @@ let create ~me ~config ~keychain ~engine ~net ?params ?obs
     Sailfish.create ~me ~config ~keychain ~engine ~net ?params ?obs ~make_block
       ~on_commit:(on_commit_internal t on_commit)
       ~on_block:(on_block_internal t)
+      ~on_deliver:(journal_deliver t)
+      ~on_propose:(fun ~round -> journal_propose t ~round)
       ()
   in
   t.consensus <- Some consensus;
   t
 
 let start t = Sailfish.start (consensus t)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+let stop t =
+  Sailfish.halt (consensus t);
+  Option.iter Persist.crash t.persist
+
+let recover t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      let c = consensus t in
+      let n = Config.n t.config in
+      (* Blocks first so replayed vertices find their payloads, then
+         vertices in journal (= insertion) order, then proposal markers. *)
+      Persist.wal_iter p (fun ~key ~data ->
+          if String.length key > 6 && String.sub key 0 6 = "wal/b/" then
+            Sailfish.replay_block c (Codec.decode_block data));
+      Persist.wal_iter p (fun ~key ~data ->
+          if String.length key > 6 && String.sub key 0 6 = "wal/v/" then
+            Sailfish.replay_vertex c (Codec.decode_vertex ~n data));
+      Persist.wal_iter p (fun ~key ~data:_ ->
+          match Scanf.sscanf_opt key "wal/p/%d" (fun r -> r) with
+          | Some round -> Sailfish.note_proposed c ~round
+          | None -> ())
+
+let start_recovered t = Sailfish.start_recovery (consensus t)

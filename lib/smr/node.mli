@@ -41,6 +41,34 @@ val create :
     [obs] is forwarded to {!Clanbft_consensus.Sailfish.create}. *)
 
 val start : t -> unit
+
+(** {1 Crash recovery}
+
+    When the node was given a [persist] store it maintains a write-ahead
+    log there: every RBC-delivered vertex is journalled before the
+    consensus layer acts on it, locally available blocks are journalled
+    with their payload, and each round this node proposes in is marked
+    before the proposal leaves. The restart sequence is: {!stop} the dying
+    node; [create] a fresh one over the {e same} [Persist.t]; {!recover}
+    it from the log; {!start_recovered} it (instead of [start]). See
+    [docs/RECOVERY.md]. *)
+
+val stop : t -> unit
+(** Tear the replica down: the consensus instance is halted (messages
+    dropped, timers dead) and the persistent store crashes — queued
+    writes that were not yet durable are lost. *)
+
+val recover : t -> unit
+(** Replay the write-ahead log into a freshly created node: blocks first,
+    then vertices in journal order (re-committing and re-executing the
+    pre-crash ledger prefix), then own-proposal markers (equivocation
+    guard). A no-op without a persistent store. *)
+
+val start_recovered : t -> unit
+(** Enter state sync ({!Clanbft_consensus.Sailfish.start_recovery}):
+    fetch certified vertices past the journal's end from peers and start
+    proposing only once caught up. *)
+
 val me : t -> int
 val submit : t -> Transaction.t -> bool
 (** Client-facing mempool entry; [false] on back-pressure. *)

@@ -9,6 +9,18 @@ type t = {
   mutable writes : int;
   mutable bytes : int;
   mutable backlog : int;
+  (* Writes scheduled before a crash but not yet durable belong to a dead
+     epoch: their completion callbacks become no-ops (the OS buffer was
+     lost with the process). *)
+  mutable epoch : int;
+  (* Write-ahead log: an ordered, deduplicated sub-namespace of [durable].
+     [wal_keys] is the durability order (reversed); [wal_seen] dedups
+     appends across the WAL's whole life; [wal_pending] tracks appends
+     queued but not yet on disk, so a crash can forget them. *)
+  mutable wal_keys : string list;
+  mutable wal_count : int;
+  wal_seen : (string, unit) Hashtbl.t;
+  wal_pending : (string, unit) Hashtbl.t;
 }
 
 let create ~engine ?(write_latency = Time.us 100)
@@ -24,6 +36,11 @@ let create ~engine ?(write_latency = Time.us 100)
     writes = 0;
     bytes = 0;
     backlog = 0;
+    epoch = 0;
+    wal_keys = [];
+    wal_count = 0;
+    wal_seen = Hashtbl.create 1024;
+    wal_pending = Hashtbl.create 64;
   }
 
 let put t ~key ~size ?data ~on_durable () =
@@ -35,13 +52,48 @@ let put t ~key ~size ?data ~on_durable () =
   t.writes <- t.writes + 1;
   t.bytes <- t.bytes + size;
   t.backlog <- t.backlog + 1;
+  let epoch = t.epoch in
   Engine.schedule_at t.engine done_at (fun () ->
-      Hashtbl.replace t.durable key data;
-      t.backlog <- t.backlog - 1;
-      on_durable ())
+      if t.epoch = epoch then begin
+        Hashtbl.replace t.durable key data;
+        t.backlog <- t.backlog - 1;
+        on_durable ()
+      end)
 
 let get t ~key = Option.join (Hashtbl.find_opt t.durable key)
 let is_durable t ~key = Hashtbl.mem t.durable key
 let writes t = t.writes
 let bytes_written t = t.bytes
 let backlog t = t.backlog
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead log *)
+
+let wal_append t ~key ~data =
+  if not (Hashtbl.mem t.wal_seen key) then begin
+    Hashtbl.replace t.wal_seen key ();
+    Hashtbl.replace t.wal_pending key ();
+    put t ~key ~size:(String.length data) ~data
+      ~on_durable:(fun () ->
+        Hashtbl.remove t.wal_pending key;
+        t.wal_keys <- key :: t.wal_keys;
+        t.wal_count <- t.wal_count + 1)
+      ()
+  end
+
+let wal_size t = t.wal_count
+
+let wal_iter t f =
+  List.iter
+    (fun key ->
+      match get t ~key with Some data -> f ~key ~data | None -> ())
+    (List.rev t.wal_keys)
+
+let crash t =
+  t.epoch <- t.epoch + 1;
+  t.disk_free_at <- Engine.now t.engine;
+  t.backlog <- 0;
+  (* Appends that never reached the platter are lost: forget them so the
+     recovered node can journal the same slot again. *)
+  Hashtbl.iter (fun key () -> Hashtbl.remove t.wal_seen key) t.wal_pending;
+  Hashtbl.reset t.wal_pending

@@ -40,3 +40,30 @@ val writes : t -> int
 val bytes_written : t -> int
 val backlog : t -> int
 (** Writes queued but not yet durable. *)
+
+(** {1 Write-ahead log}
+
+    An ordered, deduplicated sub-namespace of the store used for crash
+    recovery: a node journals every RBC delivery before acting on it and
+    replays the log after a restart (see [docs/RECOVERY.md]). Appends pay
+    the same simulated disk costs as {!put}. *)
+
+val wal_append : t -> key:string -> data:string -> unit
+(** Queue one log record. A key already appended (durable {e or} still in
+    flight) is skipped, so replay-then-relearn paths cannot double-journal
+    a slot. The record becomes visible to {!wal_iter} once durable. *)
+
+val wal_size : t -> int
+(** Durable WAL records. *)
+
+val wal_iter : t -> (key:string -> data:string -> unit) -> unit
+(** Iterate durable records in durability order — the disk queue is FIFO,
+    so this equals append order, and a prefix of it survives any crash. *)
+
+val crash : t -> unit
+(** Simulate the node's process dying: writes scheduled but not yet
+    durable are lost (their [on_durable] callbacks never fire, and WAL
+    appends among them may be re-appended later), the queue resets to
+    empty at the current simulated time. Durable state is untouched —
+    that is the point of the WAL. *)
+

@@ -8,6 +8,7 @@ module Rng = Clanbft_util.Rng
 module Faults = Clanbft_faults.Faults
 module Obs = Clanbft_obs.Obs
 module Metrics = Clanbft_obs.Metrics
+module Bitset = Clanbft_util.Bitset
 
 type protocol =
   | Full
@@ -33,6 +34,7 @@ type spec = {
   params : Sailfish.params;
   crashed : int list;
   fault_plan : Faults.plan;
+  restarts : Faults.restart list;
   persist : bool;
   clan_random : bool;
   obs : Obs.t option;
@@ -53,6 +55,7 @@ let default_spec =
     params = Sailfish.default_params;
     crashed = [];
     fault_plan = Faults.empty;
+    restarts = [];
     persist = false;
     clan_random = false;
     obs = None;
@@ -72,6 +75,8 @@ type result = {
   events : int;
   agreement : bool;
   commit_fingerprint : int;
+  commit_chain : int array;
+  post_recovery_commits : (int * int) list;
 }
 
 (* Growable int array for per-node commit-prefix hashes. *)
@@ -114,11 +119,15 @@ let dissemination_of spec rng =
       in
       Config.Multi_clan clans
 
-(* Per proposed block: what the workload generator produced for it. *)
+(* Per proposed block: what the workload generator produced for it. A block
+   is "committed by all" once every replica required to commit it has —
+   crashed and muted replicas are never required (they are the modelled
+   faults), a restarting replica is excused only while it is down. *)
 type block_meta = {
   created_at : Time.t;
   effective_txns : int;
-  mutable commits : int; (* honest replicas that committed it *)
+  committers : Bitset.t; (* replicas that committed it (dedup) *)
+  mutable req_commits : int; (* committers that are always required *)
   mutable done_ : bool;
 }
 
@@ -149,7 +158,33 @@ let run spec =
       if i < 0 || i >= spec.n then invalid_arg "Runner: bad crashed id";
       crashed.(i) <- true)
     spec.crashed;
-  let honest_count = spec.n - List.length spec.crashed in
+  let restart_of = Array.make spec.n None in
+  List.iter
+    (fun (r : Faults.restart) ->
+      if r.node < 0 || r.node >= spec.n then
+        invalid_arg "Runner: bad restart id";
+      if crashed.(r.node) then
+        invalid_arg "Runner: restart of a crashed replica";
+      if restart_of.(r.node) <> None then
+        invalid_arg "Runner: duplicate restart for one replica";
+      if r.crash_at >= r.recover_at then invalid_arg "Runner: restart window";
+      restart_of.(r.node) <- Some r)
+    spec.restarts;
+  (* Replicas that must commit a block before it counts as committed-by-all:
+     crashed and muted replicas never do, restarting ones are handled by a
+     per-block excuse window below. *)
+  let muted_nodes =
+    List.map (fun (m : Faults.mute) -> m.node) spec.fault_plan.Faults.mutes
+  in
+  let always_required =
+    Array.init spec.n (fun i ->
+        (not crashed.(i))
+        && (not (List.mem i muted_nodes))
+        && restart_of.(i) = None)
+  in
+  let required_total =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 always_required
+  in
   (* ---- workload + measurement state ---- *)
   let metas : (int * int, block_meta) Hashtbl.t = Hashtbl.create 4096 in
   let next_txn = ref 0 in
@@ -163,7 +198,13 @@ let run spec =
     else begin
       let now = Engine.now engine in
       Hashtbl.replace metas (proposer, round)
-        { created_at = now; effective_txns = effective; commits = 0; done_ = false };
+        {
+          created_at = now;
+          effective_txns = effective;
+          committers = Bitset.create spec.n;
+          req_commits = 0;
+          done_ = false;
+        };
       Array.init sim_count (fun _ ->
           incr next_txn;
           Transaction.make ~id:!next_txn ~client:proposer ~created_at:now
@@ -180,9 +221,16 @@ let run spec =
           ~buckets:Stats.Histogram.latency_ms_buckets "commit_latency_ms")
   in
   let leaders_committed = ref 0 in
+  let post_recovery = Array.make spec.n 0 in
   let on_commit me ~leader:(l : Vertex.t) vertices =
     if l.round >= 0 && me = 0 then incr leaders_committed;
     let now = Engine.now engine in
+    (* Commits strictly after the replica's recovery instant: WAL replay
+       fires exactly at [recover_at], so anything later is new progress. *)
+    (match restart_of.(me) with
+    | Some (r : Faults.restart) when now > r.recover_at ->
+        post_recovery.(me) <- post_recovery.(me) + List.length vertices
+    | _ -> ());
     List.iter
       (fun (v : Vertex.t) ->
         let vec = prefix_hash.(me) in
@@ -192,9 +240,20 @@ let run spec =
         | None -> ()
         | Some meta when meta.done_ -> ()
         | Some meta ->
-            Metrics.observe commit_hist.(me) (Time.to_ms (now - meta.created_at));
-            meta.commits <- meta.commits + 1;
-            if meta.commits >= honest_count then begin
+            if Bitset.add meta.committers me then begin
+              Metrics.observe commit_hist.(me)
+                (Time.to_ms (now - meta.created_at));
+              if always_required.(me) then
+                meta.req_commits <- meta.req_commits + 1
+            end;
+            let restarters_ok =
+              List.for_all
+                (fun (r : Faults.restart) ->
+                  (now >= r.crash_at && now < r.recover_at)
+                  || Bitset.mem meta.committers r.node)
+                spec.restarts
+            in
+            if meta.req_commits >= required_total && restarters_ok then begin
               meta.done_ <- true;
               if meta.created_at >= warmup_end then begin
                 Stats.add samples (Time.to_ms (now - meta.created_at));
@@ -204,31 +263,58 @@ let run spec =
             end)
       vertices
   in
+  (* Restarting replicas need the write-ahead log even if the spec did not
+     ask for persistence explicitly. *)
+  let use_persist = spec.persist || spec.restarts <> [] in
   let persist =
-    if spec.persist then
-      Array.init spec.n (fun _ -> Persist.create ~engine ())
+    if use_persist then Array.init spec.n (fun _ -> Persist.create ~engine ())
     else [||]
   in
-  let nodes =
-    Array.init spec.n (fun me ->
-        Node.create ~me ~config ~keychain ~engine ~net ~params:spec.params ~obs
-          ?persist:(if spec.persist then Some persist.(me) else None)
-          ~generate:(generate me)
-          ~on_commit:(fun ~leader vs -> on_commit me ~leader vs)
-          ())
+  let make_node me =
+    Node.create ~me ~config ~keychain ~engine ~net ~params:spec.params ~obs
+      ?persist:(if use_persist then Some persist.(me) else None)
+      ~generate:(generate me)
+      ~on_commit:(fun ~leader vs -> on_commit me ~leader vs)
+      ()
   in
+  let nodes = Array.init spec.n make_node in
   (* Installed last so an empty plan consumes no RNG draws: benign runs
-     stay bit-identical to their pre-fault-harness behaviour per seed. *)
+     stay bit-identical to their pre-fault-harness behaviour per seed.
+     Restart scheduling likewise only exists when restarts were asked for
+     (node construction and WAL replay draw no randomness, so the restart
+     path perturbs nothing else). *)
   if not (Faults.is_empty spec.fault_plan) then
     ignore
       (Faults.install ~engine ~net
          ~rng:(Rng.split rng)
          ~classify:Msg.tag ~round_of:Msg.round ~obs spec.fault_plan);
+  List.iter
+    (fun (r : Faults.restart) ->
+      Engine.schedule_at engine r.crash_at (fun () ->
+          Node.stop nodes.(r.node));
+      Engine.schedule_at engine r.recover_at (fun () ->
+          (* The replayed node rebuilds its ledger from genesis, so its
+             commit-prefix vector restarts too. *)
+          prefix_hash.(r.node) <- Intvec.create ();
+          let node = make_node r.node in
+          nodes.(r.node) <- node;
+          Node.recover node;
+          Node.start_recovered node))
+    spec.restarts;
   Array.iteri (fun i node -> if not crashed.(i) then Node.start node) nodes;
   Engine.run ~until:spec.duration engine;
   (* ---- agreement: common prefix of commit sequences ---- *)
+  (* A replica that snapshot-joined past a GC'd gap rebuilt its ledger from
+     a peer's floor, not from genesis: its full-history vector is not
+     comparable and is left out (its continued liveness is still visible in
+     [post_recovery_commits]). Fully replayed replicas stay in — their
+     vectors rebuild from genesis and must match. *)
   let honest_vecs =
-    List.filteri (fun i _ -> not crashed.(i)) (Array.to_list prefix_hash)
+    List.filteri
+      (fun i _ ->
+        (not crashed.(i))
+        && not (Sailfish.snapshot_joined (Node.consensus nodes.(i))))
+      (Array.to_list prefix_hash)
   in
   let min_len =
     List.fold_left (fun acc v -> min acc (Intvec.length v)) max_int honest_vecs
@@ -279,6 +365,21 @@ let run spec =
     events = Engine.events_processed engine;
     agreement;
     commit_fingerprint;
+    commit_chain =
+      (let owner =
+         let rec find i =
+           if i >= spec.n then 0
+           else if always_required.(i) then i
+           else find (i + 1)
+         in
+         find 0
+       in
+       let v = prefix_hash.(owner) in
+       Array.init (Intvec.length v) (Intvec.get v));
+    post_recovery_commits =
+      List.map
+        (fun (r : Faults.restart) -> (r.node, post_recovery.(r.node)))
+        spec.restarts;
   }
 
 (* Each run owns every piece of mutable state it touches (engine, RNG,

@@ -39,6 +39,16 @@ type spec = {
           partitions, mute-after-round crashes) injected via the net
           filter; {!Clanbft_faults.Faults.empty} for benign runs. Seeded
           from [seed], so adversarial runs replay exactly. *)
+  restarts : Clanbft_faults.Faults.restart list;
+      (** Crash–recovery schedule: each entry tears the replica down at
+          [crash_at] ({!Node.stop} — consensus halted, pending disk writes
+          lost) and rebuilds it at [recover_at] from its write-ahead log
+          plus peer state sync ({!Node.recover} / {!Node.start_recovered}).
+          Persistence is forced on for all replicas when non-empty. An
+          empty list schedules nothing and draws no randomness, so benign
+          runs are bit-identical to pre-recovery-subsystem behaviour. At
+          most one restart per replica; a replica may not appear in both
+          [crashed] and [restarts]. *)
   persist : bool;
   clan_random : bool;  (** random clan election instead of region-balanced *)
   obs : Clanbft_obs.Obs.t option;
@@ -70,7 +80,21 @@ type result = {
   commit_fingerprint : int;
       (** Hash folding every honest replica's entire commit sequence (and
           its length): equal fingerprints ⇔ bit-identical commit sequences,
-          up to hash collision. The yardstick for determinism assertions. *)
+          up to hash collision. The yardstick for determinism assertions.
+          Replicas that snapshot-joined past a GC'd gap are excluded (their
+          ledgers legitimately start mid-history); fully WAL-replayed
+          replicas are included. *)
+  commit_chain : int array;
+      (** The full chained-hash commit vector of the lowest-indexed
+          always-required replica. Element [i] hashes the sequence prefix
+          of length [i+1], so two runs agree on a commit prefix of length
+          [k] iff their chains agree at index [k-1] — the instrument for
+          crash-vs-benign prefix assertions. *)
+  post_recovery_commits : (int * int) list;
+      (** Per restarted replica: vertices it committed strictly after its
+          [recover_at] (WAL replay fires exactly at [recover_at], so this
+          counts genuinely new post-recovery progress). Empty when
+          [restarts] is empty. *)
 }
 
 val run : spec -> result

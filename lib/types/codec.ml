@@ -292,7 +292,15 @@ let encode ~n msg =
   | Msg.Vertex_reply { vertex; block } ->
       W.u8 b 9;
       write_vertex b ~n vertex;
-      write_block_opt b block);
+      write_block_opt b block
+  | Msg.Sync_request { from_round } ->
+      W.u8 b 10;
+      W.u32 b from_round
+  | Msg.Sync_reply { floor; highest } ->
+      W.u8 b 11;
+      W.u32 b floor;
+      (* [highest] is -1 for an empty store; bias by one to stay in u32. *)
+      W.u32 b (highest + 1));
   Buffer.contents b
 
 let decode ~n s =
@@ -342,6 +350,13 @@ let decode ~n s =
         let vertex = read_vertex r ~n in
         let block = read_block_opt r in
         Msg.Vertex_reply { vertex; block }
+    | 10 ->
+        let from_round = R.u32 r in
+        Msg.Sync_request { from_round }
+    | 11 ->
+        let floor = R.u32 r in
+        let highest = R.u32 r - 1 in
+        Msg.Sync_reply { floor; highest }
     | t -> fail "bad message tag %d" t
   in
   R.eof r;

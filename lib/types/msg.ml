@@ -23,6 +23,8 @@ type t =
   | Block_reply of { block : Block.t }
   | Vertex_request of { round : int; source : int }
   | Vertex_reply of { vertex : Vertex.t; block : Block.t option }
+  | Sync_request of { from_round : int }
+  | Sync_reply of { floor : int; highest : int }
 
 let echo_signing_string ~round ~source digest =
   String.concat ""
@@ -47,6 +49,8 @@ let wire_size ~n t =
   | Vertex_reply { vertex; block } ->
       1 + Vertex.wire_size ~n vertex
       + (match block with None -> 1 | Some b -> 1 + Block.wire_size b)
+  | Sync_request _ -> 1 + 4
+  | Sync_reply _ -> 1 + 4 + 4
 
 let tag = function
   | Val _ -> "val"
@@ -59,6 +63,8 @@ let tag = function
   | Block_reply _ -> "block_reply"
   | Vertex_request _ -> "vertex_request"
   | Vertex_reply _ -> "vertex_reply"
+  | Sync_request _ -> "sync_request"
+  | Sync_reply _ -> "sync_reply"
 
 let round = function
   | Val { vertex; _ } | Vertex_reply { vertex; _ } -> Some vertex.Vertex.round
@@ -70,7 +76,7 @@ let round = function
   | Vertex_request { round; _ } ->
       Some round
   | Timeout_cert cert -> Some cert.Cert.round
-  | Block_reply _ -> None
+  | Block_reply _ | Sync_request _ | Sync_reply _ -> None
 
 let pp ppf t =
   match t with
@@ -92,3 +98,7 @@ let pp ppf t =
   | Vertex_request { round; source } ->
       Format.fprintf ppf "vertex_request(r%d,src=%d)" round source
   | Vertex_reply { vertex; _ } -> Format.fprintf ppf "vertex_reply(%a)" Vertex.pp vertex
+  | Sync_request { from_round } ->
+      Format.fprintf ppf "sync_request(from=r%d)" from_round
+  | Sync_reply { floor; highest } ->
+      Format.fprintf ppf "sync_reply(floor=r%d,highest=r%d)" floor highest

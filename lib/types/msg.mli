@@ -41,6 +41,15 @@ type t =
   | Block_reply of { block : Block.t }
   | Vertex_request of { round : int; source : int }
   | Vertex_reply of { vertex : Vertex.t; block : Block.t option }
+  | Sync_request of { from_round : int }
+      (** A recovering replica announces its highest contiguous DAG round
+          and asks a peer to stream certified vertices above it (state
+          sync; see [docs/RECOVERY.md]). *)
+  | Sync_reply of { floor : int; highest : int }
+      (** The peer's GC floor and highest stored round; the vertices
+          themselves follow as ordinary [Vertex_reply] messages. A [floor]
+          above the requester's frontier signals the gap was garbage
+          collected and replay alone cannot reconnect. *)
 
 val echo_signing_string : round:int -> source:int -> Digest32.t -> string
 (** Canonical string ECHO signatures cover. *)
@@ -54,7 +63,7 @@ val tag : t -> string
 
 val round : t -> int option
 (** The consensus round a message belongs to (a VAL's vertex round;
-    [None] only for [Block_reply]). Feeds round-windowed fault rules and
-    mute-after-round crash injection. *)
+    [None] for [Block_reply] and the state-sync control messages). Feeds
+    round-windowed fault rules and mute-after-round crash injection. *)
 
 val pp : Format.formatter -> t -> unit
