@@ -22,7 +22,7 @@
    Sections can be selected on the command line:
      dune exec bench/main.exe -- [--jobs N] table1 fig1 concrete fig5a \
        fig5b fig5c fig6 ablation-latency ablation-rbc faults recovery \
-       metrics micro perf *)
+       metrics micro analysis perf *)
 
 open Clanbft
 open Clanbft.Sim
@@ -804,6 +804,48 @@ let perf_scenarios () =
     mk "multi-clan-n16q2-load200" (Runner.Multi_clan { q = 2 }) 200;
   ]
 
+(* Traced re-runs of the pinned perf scenarios, analyzed by the Analyze
+   engine. Segment percentiles are simulated-time facts — fully
+   deterministic, so they print to stdout and hard-gate in ci.sh
+   alongside throughput. Lazy and shared: the [analysis] section and the
+   BENCH_sim.json writer both consume it, but the traced runs happen at
+   most once per process. *)
+let analysis_rows =
+  lazy
+    (List.map
+       (fun sc ->
+         let obs = Obs.create () in
+         let r, secs =
+           wall (fun () -> Runner.run { sc.ps_spec with Runner.obs = Some obs })
+         in
+         progress "  %-26s %6.2fs wall (traced, %d events)\n" sc.ps_name secs
+           (Trace.length obs.Obs.trace);
+         assert r.Runner.agreement;
+         (sc, Analyze.analyze (Trace.records obs.Obs.trace)))
+       (perf_scenarios ()))
+
+let analysis () =
+  section_header
+    "Trace analysis — commit critical-path attribution over the perf scenarios";
+  Printf.printf "  %-26s %-14s %9s %9s %9s\n" "scenario" "segment" "p50 ms"
+    "p99 ms" "max ms";
+  List.iter
+    (fun (sc, (rep : Analyze.report)) ->
+      let row name (d : Analyze.dist) =
+        Printf.printf "  %-26s %-14s %9.1f %9.1f %9.1f\n" sc.ps_name name
+          (float_of_int d.Analyze.p50_us /. 1000.)
+          (float_of_int d.Analyze.p99_us /. 1000.)
+          (float_of_int d.Analyze.max_us /. 1000.)
+      in
+      List.iter
+        (fun (seg, d) -> row (Analyze.segment_name seg) d)
+        rep.Analyze.segments;
+      row "end_to_end" rep.Analyze.e2e;
+      Printf.printf "  %-26s %-14s %9d %9d\n" sc.ps_name "paths/stalls"
+        rep.Analyze.e2e.Analyze.count
+        (List.length rep.Analyze.stalls))
+    (Lazy.force analysis_rows)
+
 (* ops/sec of [f] measured over at least [min_time] seconds, calling [f]
    in batches of [batch] between clock reads. *)
 let ops_per_s ?(min_time = 0.3) ?(batch = 100) f =
@@ -947,8 +989,33 @@ let perf () =
     micros;
   (* BENCH_sim.json *)
   let b = Buffer.create 4096 in
+  let analysis_json =
+    let dist_json (d : Analyze.dist) =
+      Printf.sprintf
+        "{\"count\": %d, \"p50_us\": %d, \"p99_us\": %d, \"mean_us\": %s, \
+         \"max_us\": %d}"
+        d.Analyze.count d.Analyze.p50_us d.Analyze.p99_us
+        (json_float d.Analyze.mean_us) d.Analyze.max_us
+    in
+    List.map
+      (fun (sc, (rep : Analyze.report)) ->
+        let segs =
+          List.map
+            (fun (seg, d) ->
+              Printf.sprintf "\"%s\": %s" (Analyze.segment_name seg)
+                (dist_json d))
+            rep.Analyze.segments
+        in
+        Printf.sprintf
+          "    \"%s\": {\"e2e\": %s, \"segments\": {%s}, \"stalls\": %d}"
+          (json_escape sc.ps_name)
+          (dist_json rep.Analyze.e2e)
+          (String.concat ", " segs)
+          (List.length rep.Analyze.stalls))
+      (Lazy.force analysis_rows)
+  in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"clanbft/bench-sim/v1\",\n";
+  Buffer.add_string b "  \"schema\": \"clanbft/bench-sim/v2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"profile\": \"%s\",\n" profile_name);
   Buffer.add_string b
     (Printf.sprintf "  \"jobs\": %d,\n" (Pool.jobs (Lazy.force pool)));
@@ -989,7 +1056,10 @@ let perf () =
         (Printf.sprintf "    \"%s\": %s%s\n" k (json_float v)
            (if i = List.length micros - 1 then "" else ",")))
     micros;
-  Buffer.add_string b "  }\n}\n";
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"analysis\": {\n";
+  Buffer.add_string b (String.concat ",\n" analysis_json);
+  Buffer.add_string b "\n  }\n}\n";
   let oc = open_out bench_sim_json in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -1012,6 +1082,7 @@ let sections =
     ("recovery", recovery);
     ("metrics", metrics);
     ("micro", micro);
+    ("analysis", analysis);
     ("perf", perf);
   ]
 

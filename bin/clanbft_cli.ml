@@ -2,6 +2,7 @@
 
      clanbft sim        — run a simulated experiment and print metrics
      clanbft sweep      — run a load sweep across worker domains
+     clanbft analyze    — analyze a recorded JSONL trace (docs/ANALYSIS.md)
      clanbft clan-size  — exact committee sizing (Fig. 1 / §6.2 machinery)
      clanbft rbc        — broadcast one value through a chosen RBC variant
      clanbft latency    — architectural latency bounds (§1 / §8)          *)
@@ -99,31 +100,42 @@ let sim_cmd =
           Runner.Single_clan { nc }
       | `Multi -> Runner.Multi_clan { q }
     in
-    (* Tracing buffers every event; metrics alone skip the buffer. *)
-    let obs =
-      if trace <> None || trace_chrome <> None then Some (Obs.create ())
-      else if metrics_out <> None then Some (Obs.metrics_only ())
-      else None
+    let run_with obs =
+      Runner.run
+        {
+          Runner.default_spec with
+          n;
+          protocol;
+          txns_per_proposal = load;
+          txn_size = size;
+          duration = Time.s duration;
+          warmup = Time.s warmup;
+          seed = Int64.of_int seed;
+          topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
+          crashed;
+          fault_plan;
+          restarts;
+          persist;
+          obs;
+        }
     in
-    let spec =
-      {
-        Runner.default_spec with
-        n;
-        protocol;
-        txns_per_proposal = load;
-        txn_size = size;
-        duration = Time.s duration;
-        warmup = Time.s warmup;
-        seed = Int64.of_int seed;
-        topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
-        crashed;
-        fault_plan;
-        restarts;
-        persist;
-        obs;
-      }
+    (* A plain --trace streams each event straight to the JSONL file, so
+       long runs never hold the trace in memory; --trace-chrome needs the
+       full buffer (span pairing), and then a co-requested --trace is
+       written from the same buffer. Metrics alone skip the buffer too. *)
+    let streamed = trace <> None && trace_chrome = None in
+    let r, obs =
+      if streamed then
+        Runner.with_streamed_trace ~path:(Option.get trace) (fun obs ->
+            (run_with (Some obs), Some obs))
+      else
+        let obs =
+          if trace <> None || trace_chrome <> None then Some (Obs.create ())
+          else if metrics_out <> None then Some (Obs.metrics_only ())
+          else None
+        in
+        (run_with obs, obs)
     in
-    let r = Runner.run spec in
     Format.printf "%a@." Runner.pp_result r;
     Format.printf
       "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
@@ -141,7 +153,7 @@ let sim_cmd =
     | Some o ->
         Option.iter
           (fun path ->
-            Trace.write_jsonl o.Obs.trace path;
+            if not streamed then Trace.write_jsonl o.Obs.trace path;
             Format.printf "trace: %d events -> %s@." (Trace.length o.Obs.trace) path)
           trace;
         Option.iter
@@ -479,6 +491,48 @@ let sweep_cmd =
       $ seed $ uniform $ restarts_flag $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run trace_file json stall_factor =
+    if stall_factor <= 0.0 then begin
+      prerr_endline "--stall-factor must be positive";
+      exit 2
+    end;
+    let records = Analyze.load_jsonl trace_file in
+    if records = [] then begin
+      Printf.eprintf "no parseable trace records in %s\n" trace_file;
+      exit 2
+    end;
+    let report = Analyze.analyze ~stall_factor records in
+    print_string (if json then Analyze.to_json report else Analyze.human report)
+  in
+  let trace_file =
+    Arg.(required & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"JSONL trace recorded by $(b,clanbft sim --trace) (schema \
+                   in docs/OBSERVABILITY.md).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output (schema $(b,clanbft/analysis/v1)) \
+                   instead of the human report.")
+  in
+  let stall_factor =
+    Arg.(value & opt float 5.0
+         & info [ "stall-factor" ]
+             ~doc:"Flag a liveness stall when a progress gap exceeds this \
+                   multiple of the median inter-progress gap.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a recorded trace: commit critical-path attribution, \
+             round timelines, uplink queueing, liveness stall detection \
+             (docs/ANALYSIS.md)")
+    Term.(const run $ trace_file $ json $ stall_factor)
+
+(* ------------------------------------------------------------------ *)
 (* latency *)
 
 let latency_cmd =
@@ -500,4 +554,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "clanbft" ~version:"0.1.0" ~doc)
-          [ sim_cmd; sweep_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))
+          [ sim_cmd; sweep_cmd; analyze_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))

@@ -67,6 +67,46 @@ for f in sailfish single-clan_nc_11_ multi-clan_q_2_; do
 done
 rm -rf "$smoke_dir"
 
+echo "== analyze smoke (trace -> clanbft analyze, deterministic) =="
+smoke_dir=$(mktemp -d)
+dune exec bin/clanbft_cli.exe -- sim -n 16 -p single-clan --duration 2 \
+  --warmup 0.5 --seed 7 --trace "$smoke_dir/t1.jsonl" >/dev/null 2>&1
+dune exec bin/clanbft_cli.exe -- sim -n 16 -p single-clan --duration 2 \
+  --warmup 0.5 --seed 7 --trace "$smoke_dir/t2.jsonl" >/dev/null 2>&1
+# Streaming the trace must not perturb the run: same seed, same bytes.
+if ! cmp -s "$smoke_dir/t1.jsonl" "$smoke_dir/t2.jsonl"; then
+  echo "streamed traces differ between two same-seed runs"
+  exit 1
+fi
+dune exec bin/clanbft_cli.exe -- analyze --trace "$smoke_dir/t1.jsonl" --json \
+  >"$smoke_dir/a1.json"
+dune exec bin/clanbft_cli.exe -- analyze --trace "$smoke_dir/t2.jsonl" --json \
+  >"$smoke_dir/a2.json"
+# The analyzer is pure: identical traces must render identical reports.
+if ! cmp -s "$smoke_dir/a1.json" "$smoke_dir/a2.json"; then
+  echo "analyzer output differs on identical traces"
+  exit 1
+fi
+dune exec bin/clanbft_cli.exe -- analyze --trace "$smoke_dir/t1.jsonl" \
+  >"$smoke_dir/a1.txt"
+grep -q "commit critical path" "$smoke_dir/a1.txt" || {
+  echo "human analysis report missing critical-path section"
+  exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "clanbft/analysis/v1"
+         and .commit_paths > 0
+         and (.segments | has("dissemination") and has("quorum_wait")
+              and has("order_wait"))
+         and (.segments | to_entries | map(.value.p50_us) | add) <= .e2e.p50_us * 2
+         and (.stalls | length) == 0' \
+    "$smoke_dir/a1.json" >/dev/null || {
+    echo "analysis JSON failed schema validation"
+    exit 1
+  }
+fi
+rm -rf "$smoke_dir"
+
 echo "== parallel bench smoke (perf section, CLANBFT_JOBS=2) =="
 smoke_dir=$(mktemp -d)
 (cd "$smoke_dir" \
@@ -83,24 +123,97 @@ test -s "$smoke_dir/BENCH_sim.json" || {
   exit 1
 }
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "clanbft/bench-sim/v1"
+  jq -e '.schema == "clanbft/bench-sim/v2"
          and .jobs == 2
          and (.scenarios | length) == 3
          and (.scenarios | all(has("events_per_s") and has("wall_s")
               and has("minor_words") and has("commit_fingerprint")))
          and (.micro | has("sha256_mb_per_s") and has("net_send_ops_per_s")
-              and has("encode_ops_per_s") and has("decode_ops_per_s"))' \
+              and has("encode_ops_per_s") and has("decode_ops_per_s"))
+         and (.analysis | length == 3
+              and all(.[]; (.e2e.count > 0)
+                   and (.segments | has("dissemination") and has("echo_wait")
+                        and has("quorum_wait") and has("dag_wait")
+                        and has("order_wait"))))' \
     "$smoke_dir/BENCH_sim.json" >/dev/null || {
     echo "BENCH_sim.json failed schema validation"
     exit 1
   }
 else
-  for key in '"schema": "clanbft/bench-sim/v1"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"'; do
+  for key in '"schema": "clanbft/bench-sim/v2"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"' '"analysis"'; do
     grep -qF "$key" "$smoke_dir/BENCH_sim.json" || {
       echo "BENCH_sim.json missing $key"
       exit 1
     }
   done
+fi
+
+if command -v jq >/dev/null 2>&1; then
+  echo "== perf regression gate (fresh run vs committed BENCH_sim.json) =="
+  # Hard gate on simulated-time facts only (throughput, committed txns,
+  # analyzer latency percentiles) — those are deterministic, so any drift
+  # is a real behaviour change, not machine noise. Wall-clock and
+  # events/s vary by machine: warn-only.
+  perf_gate() {
+    # $1 = baseline, $2 = fresh. Prints offences; returns 1 if any.
+    jq -rn --slurpfile b "$1" --slurpfile f "$2" '
+      def by_name: map({(.name): .}) | add;
+      ($b[0].scenarios | by_name) as $bs
+      | ($f[0].scenarios | by_name) as $fs
+      | [ $bs | keys[] | select($fs[.] != null) | . as $n
+          | ($bs[$n]) as $old | ($fs[$n]) as $new
+          | (if $old.throughput_ktps > 0
+             and $new.throughput_ktps < 0.75 * $old.throughput_ktps then
+               "\($n): throughput \($new.throughput_ktps) kTPS < 75% of baseline \($old.throughput_ktps)"
+             else empty end),
+            (if $old.committed_txns > 0 and $new.committed_txns == 0 then
+               "\($n): no transactions committed (baseline \($old.committed_txns))"
+             else empty end),
+            (($b[0].analysis[$n].e2e.p50_us // 0) as $bp
+             | (($f[0].analysis[$n].e2e.p50_us // $bp)) as $fp
+             | if $bp > 0 and $fp > 1.25 * $bp then
+                 "\($n): e2e p50 latency \($fp) us > 125% of baseline \($bp)"
+               else empty end)
+        ] | .[]' | {
+      bad=0
+      while IFS= read -r line; do
+        [ -n "$line" ] || continue
+        echo "PERF REGRESSION: $line"
+        bad=1
+      done
+      return $bad
+    }
+  }
+  perf_gate BENCH_sim.json "$smoke_dir/BENCH_sim.json" || {
+    echo "perf regression gate failed"
+    exit 1
+  }
+  # Wall-clock drift is machine noise: report, never fail.
+  jq -rn --slurpfile b BENCH_sim.json --slurpfile f "$smoke_dir/BENCH_sim.json" '
+    def by_name: map({(.name): .}) | add;
+    ($b[0].scenarios | by_name) as $bs
+    | ($f[0].scenarios | by_name) as $fs
+    | [ $bs | keys[] | select($fs[.] != null) | . as $n
+        | if $fs[$n].wall_s > 2 * $bs[$n].wall_s then
+            "warning: \($n) wall-clock \($fs[$n].wall_s)s > 2x baseline \($bs[$n].wall_s)s (not gated)"
+          else empty end
+      ] | .[]' || true
+  # Gate self-test: an injected 50% throughput collapse must trip it.
+  jq '.scenarios[0].throughput_ktps *= 0.5 | .scenarios[0].committed_txns = 0' \
+    "$smoke_dir/BENCH_sim.json" >"$smoke_dir/tampered.json"
+  if perf_gate BENCH_sim.json "$smoke_dir/tampered.json" >/dev/null 2>&1; then
+    echo "perf gate self-test failed: synthetic regression not detected"
+    exit 1
+  fi
+  jq '.analysis[].e2e.p50_us *= 2' \
+    "$smoke_dir/BENCH_sim.json" >"$smoke_dir/tampered2.json"
+  if perf_gate BENCH_sim.json "$smoke_dir/tampered2.json" >/dev/null 2>&1; then
+    echo "perf gate self-test failed: synthetic latency regression not detected"
+    exit 1
+  fi
+  echo "perf gate OK (and self-test trips on synthetic regressions)"
+else
+  echo "== perf regression gate skipped (jq not installed) =="
 fi
 rm -rf "$smoke_dir"
 

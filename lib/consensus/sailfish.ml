@@ -920,6 +920,9 @@ and propose t r =
   (* Journal the round before any VAL leaves: after a crash the replayed
      marker forbids re-proposing it, so we can never equivocate. *)
   t.on_propose ~round:r;
+  (* The origin anchor of this instance's latency attribution: everything
+     downstream (VAL arrival, echo quorum, commit) is measured from here. *)
+  trace_phase t ~sender:t.me ~round:r Trace.Propose;
   let strong_edges =
     if r = 0 then [||]
     else

@@ -46,6 +46,7 @@ end
 module Obs = Clanbft_obs.Obs
 module Trace = Clanbft_obs.Trace
 module Metrics = Clanbft_obs.Metrics
+module Analyze = Clanbft_obs.Analyze
 
 (** {1 Committee analysis (paper §5 / §6.2)} *)
 

@@ -130,18 +130,25 @@ let to_json reg =
                (Stats.Histogram.count h)
                (float_json (Stats.Histogram.sum h))
                (float_json (Stats.Histogram.mean h)));
-          Array.iteri
-            (fun i (edge, count) ->
-              if i > 0 then Buffer.add_char b ',';
-              let le =
-                if Float.is_integer edge && Float.abs edge < 1e15 then
-                  Printf.sprintf "%.0f" edge
-                else if edge = Float.infinity then {|"+inf"|}
-                else Printf.sprintf "%g" edge
-              in
-              Buffer.add_string b
-                (Printf.sprintf {|{"le":%s,"count":%d}|} le count))
-            (Stats.Histogram.buckets h);
+          let bucket_array pairs =
+            Array.iteri
+              (fun i (edge, count) ->
+                if i > 0 then Buffer.add_char b ',';
+                let le =
+                  if Float.is_integer edge && Float.abs edge < 1e15 then
+                    Printf.sprintf "%.0f" edge
+                  else if edge = Float.infinity then {|"+inf"|}
+                  else Printf.sprintf "%g" edge
+                in
+                Buffer.add_string b
+                  (Printf.sprintf {|{"le":%s,"count":%d}|} le count))
+              pairs
+          in
+          bucket_array (Stats.Histogram.buckets h);
+          (* Prometheus-style running totals, so external tools (and the
+             analyzer) can recompute quantiles without re-summing. *)
+          Buffer.add_string b "],\"cumulative\":[";
+          bucket_array (Stats.Histogram.cumulative h);
           Buffer.add_string b "]}"))
     (sorted_bindings reg);
   Buffer.add_string b "\n]}\n";

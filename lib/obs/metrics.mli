@@ -91,10 +91,13 @@ val to_json : registry -> string
 (** The whole registry as one pretty-printed JSON object
     [{"metrics": [...]}] with one entry per instrument, in sorted order.
     Counters export ["value"]; gauges ["value"]; histograms ["count"],
-    ["sum"], ["mean"] and a ["buckets"] array of [{"le": edge, "count": n}]
-    (non-cumulative; the overflow bucket's ["le"] is the string ["+inf"];
-    [nan] means are exported as [null]). The schema is documented with a
-    worked example in [docs/OBSERVABILITY.md]. *)
+    ["sum"], ["mean"], a ["buckets"] array of [{"le": edge, "count": n}]
+    (non-cumulative) and a ["cumulative"] array over the same edges with
+    Prometheus-style running totals (its last count equals ["count"], so
+    percentiles can be recomputed externally). The overflow bucket's
+    ["le"] is the string ["+inf"]; [nan] means are exported as [null].
+    The schema is documented with a worked example in
+    [docs/OBSERVABILITY.md]. *)
 
 val write_json : registry -> string -> unit
 (** {!to_json} to a file. *)

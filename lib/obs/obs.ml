@@ -11,4 +11,6 @@ let create ?trace_limit () =
 let metrics_only () =
   { trace = Trace.null; metrics = Metrics.create_registry () }
 
+let of_trace trace = { trace; metrics = Metrics.create_registry () }
+
 let tracing t = Trace.enabled t.trace

@@ -25,6 +25,11 @@ val metrics_only : unit -> t
     the per-event trace buffer — the cheap always-on configuration used by
     the benchmark harness. *)
 
+val of_trace : Trace.t -> t
+(** Fresh registry around a caller-supplied sink — e.g. {!Trace.stream}
+    for runs whose trace should go straight to disk instead of an
+    in-memory buffer ([Runner.with_streamed_trace]). *)
+
 val tracing : t -> bool
 (** Whether the trace sink records; shorthand for
     [Trace.enabled t.trace]. Metric updates are unconditional (they cost

@@ -1,6 +1,7 @@
-type phase = Val | Echo | Ready | Cert | Deliver | Pull_retry
+type phase = Propose | Val | Echo | Ready | Cert | Deliver | Pull_retry
 
 let phase_name = function
+  | Propose -> "propose"
   | Val -> "val"
   | Echo -> "echo"
   | Ready -> "ready"
@@ -9,6 +10,7 @@ let phase_name = function
   | Pull_retry -> "pull_retry"
 
 let phase_of_name = function
+  | "propose" -> Some Propose
   | "val" -> Some Val
   | "echo" -> Some Echo
   | "ready" -> Some Ready
@@ -36,58 +38,9 @@ type event =
 
 type record = { ts : int; ev : event }
 
-type t =
-  | Null
-  | Sink of {
-      mutable records : record array;
-      mutable len : int;
-      limit : int; (* max_int when unbounded *)
-      mutable dropped : int;
-    }
-
-let null = Null
-
-let dummy = { ts = 0; ev = Vertex_deliver { node = 0; round = 0; source = 0 } }
-
-let create ?(limit = max_int) () =
-  if limit < 0 then invalid_arg "Trace.create: negative limit";
-  Sink { records = Array.make 1024 dummy; len = 0; limit; dropped = 0 }
-
-let enabled = function Null -> false | Sink _ -> true
-
-let emit t ~ts ev =
-  match t with
-  | Null -> ()
-  | Sink s ->
-      if s.len >= s.limit then s.dropped <- s.dropped + 1
-      else begin
-        if s.len = Array.length s.records then begin
-          let bigger = Array.make (2 * s.len) dummy in
-          Array.blit s.records 0 bigger 0 s.len;
-          s.records <- bigger
-        end;
-        s.records.(s.len) <- { ts; ev };
-        s.len <- s.len + 1
-      end
-
-let length = function Null -> 0 | Sink s -> s.len
-let dropped = function Null -> 0 | Sink s -> s.dropped
-
-let iter t f =
-  match t with
-  | Null -> ()
-  | Sink s ->
-      for i = 0 to s.len - 1 do
-        f s.records.(i)
-      done
-
-let records t =
-  let acc = ref [] in
-  iter t (fun r -> acc := r :: !acc);
-  List.rev !acc
-
 (* ------------------------------------------------------------------ *)
-(* JSONL *)
+(* JSONL (serialization lives above the sink so streaming sinks can use
+   it from [emit]) *)
 
 let escape s =
   (* Message tags and action names are plain ASCII identifiers, but escape
@@ -252,7 +205,78 @@ let of_jsonl_line line =
   in
   Some { ts; ev }
 
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type t =
+  | Null
+  | Sink of {
+      mutable records : record array;
+      mutable len : int;
+      limit : int; (* max_int when unbounded *)
+      mutable dropped : int;
+    }
+  | Stream of { oc : out_channel; mutable written : int }
+
+let null = Null
+
+let dummy = { ts = 0; ev = Vertex_deliver { node = 0; round = 0; source = 0 } }
+
+let create ?(limit = max_int) () =
+  if limit < 0 then invalid_arg "Trace.create: negative limit";
+  Sink { records = Array.make 1024 dummy; len = 0; limit; dropped = 0 }
+
+let stream oc = Stream { oc; written = 0 }
+
+let enabled = function Null -> false | Sink _ | Stream _ -> true
+
+let emit t ~ts ev =
+  match t with
+  | Null -> ()
+  | Sink s ->
+      if s.len >= s.limit then s.dropped <- s.dropped + 1
+      else begin
+        if s.len = Array.length s.records then begin
+          let bigger = Array.make (2 * s.len) dummy in
+          Array.blit s.records 0 bigger 0 s.len;
+          s.records <- bigger
+        end;
+        s.records.(s.len) <- { ts; ev };
+        s.len <- s.len + 1
+      end
+  | Stream s ->
+      output_string s.oc (jsonl_of_record { ts; ev });
+      output_char s.oc '\n';
+      s.written <- s.written + 1
+
+let length = function Null -> 0 | Sink s -> s.len | Stream s -> s.written
+let dropped = function Null | Stream _ -> 0 | Sink s -> s.dropped
+
+let iter t f =
+  match t with
+  | Null | Stream _ -> ()
+  | Sink s ->
+      for i = 0 to s.len - 1 do
+        f s.records.(i)
+      done
+
+let records t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+let require_buffered t fn =
+  match t with
+  | Stream _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Trace.%s: streaming sinks write at emission time and retain \
+            nothing to export"
+           fn)
+  | Null | Sink _ -> ()
+
 let write_jsonl t path =
+  require_buffered t "write_jsonl";
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -270,7 +294,35 @@ let chrome_instant b ~name ~cat ~ts ~pid ~tid ~args =
        {|{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{%s}},|}
        (escape name) cat ts pid tid args)
 
+(* The natural RBC span chain for one (node, sender, round) instance:
+   PROPOSE → VAL → ECHO → READY → CERT → Deliver. Pull retries are
+   repeatable side traffic with no successor, so they stay instants. *)
+let chain_phase = function
+  | Propose | Val | Echo | Ready | Cert | Deliver -> true
+  | Pull_retry -> false
+
+(* Map each chain-phase record (by emission index) to the time until the
+   instance's next chain phase — the duration of its "X" span. The last
+   phase of an instance has no successor and renders as an instant. *)
+let rbc_span_durations t =
+  let last_of_inst = Hashtbl.create 256 in
+  let durations = Hashtbl.create 256 in
+  let idx = ref (-1) in
+  iter t (fun { ts; ev } ->
+      incr idx;
+      match ev with
+      | Rbc_phase { node; sender; round; phase } when chain_phase phase ->
+          let key = (node, sender, round) in
+          (match Hashtbl.find_opt last_of_inst key with
+          | Some (prev_idx, prev_ts) ->
+              Hashtbl.replace durations prev_idx (max 0 (ts - prev_ts))
+          | None -> ());
+          Hashtbl.replace last_of_inst key (!idx, ts)
+      | _ -> ());
+  durations
+
 let write_chrome t path =
+  require_buffered t "write_chrome";
   let b = Buffer.create 65536 in
   Buffer.add_string b {|{"traceEvents":[|};
   let pids = Hashtbl.create 64 in
@@ -283,7 +335,10 @@ let write_chrome t path =
            p p)
     end
   in
+  let span_durations = rbc_span_durations t in
+  let idx = ref (-1) in
   iter t (fun { ts; ev } ->
+      incr idx;
       match ev with
       | Msg_send { src; dst; kind; bytes } ->
           note_pid src;
@@ -302,12 +357,23 @@ let write_chrome t path =
                (max 0 (depart - start))
                node bytes
                (max 0 (start - enqueued)))
-      | Rbc_phase { node; sender; round; phase } ->
+      | Rbc_phase { node; sender; round; phase } -> (
           note_pid node;
-          chrome_instant b
-            ~name:(Printf.sprintf "rbc %s r%d/s%d" (phase_name phase) round sender)
-            ~cat:"rbc" ~ts ~pid:node ~tid:2
-            ~args:(Printf.sprintf {|"sender":%d,"round":%d|} sender round)
+          match Hashtbl.find_opt span_durations !idx with
+          | Some dur ->
+              (* Phase span: lasts until the instance's next phase, so
+                 Perfetto shows VAL→ECHO→CERT→deliver latency directly. *)
+              Buffer.add_string b
+                (Printf.sprintf
+                   {|{"name":"rbc %s r%d/s%d","cat":"rbc","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":2,"args":{"sender":%d,"round":%d}},|}
+                   (phase_name phase) round sender ts dur node sender round)
+          | None ->
+              chrome_instant b
+                ~name:
+                  (Printf.sprintf "rbc %s r%d/s%d" (phase_name phase) round
+                     sender)
+                ~cat:"rbc" ~ts ~pid:node ~tid:2
+                ~args:(Printf.sprintf {|"sender":%d,"round":%d|} sender round))
       | Vertex_deliver { node; round; source } ->
           note_pid node;
           chrome_instant b

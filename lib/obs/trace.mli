@@ -31,15 +31,18 @@
       it back);
     - {!write_chrome}: the Chrome [trace_event] JSON-array format — load
       the file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}
-      for a per-node flame view (uplink busy spans are rendered as complete
-      ["X"] events; everything else as instants). *)
+      for a per-node flame view (uplink busy spans and RBC phase
+      transitions are rendered as complete ["X"] events; everything else
+      as instants). *)
 
-(** RBC / dissemination phase of an {!event}. [Ready] only occurs in the
-    Bracha-family standalone protocols; the merged Sailfish instance goes
-    VAL → ECHO → CERT. [Pull_retry] marks every (re-)issued pull request
-    for a missing value, block or vertex — the off-critical-path recovery
-    traffic. *)
-type phase = Val | Echo | Ready | Cert | Deliver | Pull_retry
+(** RBC / dissemination phase of an {!event}. [Propose] fires exactly once
+    per instance, on the sender, when the proposal leaves for the wire — it
+    is the origin anchor for latency attribution ([lib/obs/analyze.ml]).
+    [Ready] only occurs in the Bracha-family standalone protocols; the
+    merged Sailfish instance goes PROPOSE → VAL → ECHO → CERT. [Pull_retry]
+    marks every (re-)issued pull request for a missing value, block or
+    vertex — the off-critical-path recovery traffic. *)
+type phase = Propose | Val | Echo | Ready | Cert | Deliver | Pull_retry
 
 val phase_name : phase -> string
 (** Lower-case wire name, e.g. ["pull_retry"]. *)
@@ -93,7 +96,7 @@ type event =
 type record = { ts : int; ev : event }
 
 type t
-(** An event sink: either {!null} or an in-memory buffer. *)
+(** An event sink: {!null}, an in-memory buffer, or a JSONL {!stream}. *)
 
 val null : t
 (** The disabled sink: {!enabled} is [false], {!emit} is a no-op. *)
@@ -102,6 +105,15 @@ val create : ?limit:int -> unit -> t
 (** A recording sink. [limit] caps the number of retained records (default
     unbounded); past the cap, new events are counted in {!dropped} and
     discarded — the run itself is never perturbed. *)
+
+val stream : out_channel -> t
+(** A streaming sink: every {!emit} writes one JSONL line to the channel
+    immediately (the channel's own buffering applies) and retains nothing,
+    so a long traced run holds at most one record in memory. The caller
+    owns the channel and must close (or flush) it after the run. {!length}
+    counts lines written; {!iter} and {!records} see nothing, and
+    {!write_jsonl} / {!write_chrome} raise [Invalid_argument] — re-parse
+    the file with {!of_jsonl_line} instead. *)
 
 val enabled : t -> bool
 (** Call sites must check this {e before} allocating an event. *)
@@ -112,7 +124,8 @@ val dropped : t -> int
 
 val iter : t -> (record -> unit) -> unit
 (** In emission order. Records emitted from the same engine callback share
-    a timestamp; [Uplink] records carry a future [depart]. *)
+    a timestamp; [Uplink] records carry a future [depart]. Visits nothing
+    on {!null} and {!stream} sinks. *)
 
 val records : t -> record list
 
@@ -127,12 +140,16 @@ val of_jsonl_line : string -> record option
     writer's own output, not a general JSON parser. *)
 
 val write_jsonl : t -> string -> unit
-(** Write every record to [path], one per line. *)
+(** Write every record to [path], one per line. Raises [Invalid_argument]
+    on a {!stream} sink (it already wrote them). *)
 
 (** {1 Chrome trace_event} *)
 
 val write_chrome : t -> string -> unit
 (** Write a [{"traceEvents": [...]}] JSON document: process ids are node
-    ids (with name metadata), uplink spans are ["X"] duration events on a
-    dedicated track, everything else instant events with their payload
-    under ["args"]. *)
+    ids (with name metadata). Uplink spans and RBC phase transitions are
+    ["X"] duration events — each chain phase of an instance
+    (PROPOSE → VAL → ECHO → READY → CERT → deliver) spans until the
+    instance's next phase on that node, so Perfetto shows per-phase latency
+    directly; an instance's last phase, and every pull retry, stays an
+    instant event. Raises [Invalid_argument] on a {!stream} sink. *)

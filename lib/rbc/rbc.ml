@@ -515,6 +515,7 @@ let broadcast t ~round value =
   let inst = instance_of t ~sender:t.me ~round in
   if inst.value <> None then invalid_arg "Rbc.broadcast: already broadcast";
   inst.value <- Some value;
+  trace_phase t inst Trace.Propose;
   let digest = Digest32.hash_string value in
   if is_tribe t.protocol then
     for dst = 0 to t.n - 1 do

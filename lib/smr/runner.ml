@@ -382,6 +382,17 @@ let run spec =
         spec.restarts;
   }
 
+(* Streamed tracing: every event goes straight to the JSONL file as it is
+   emitted, so a long traced run (n=150, tens of millions of events) never
+   holds the trace in memory at all — let alone twice (buffer + export
+   serialization). The channel is closed (flushing the tail) even when the
+   run raises. *)
+let with_streamed_trace ~path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> f (Obs.of_trace (Clanbft_obs.Trace.stream oc)))
+
 (* Each run owns every piece of mutable state it touches (engine, RNG,
    keychain, net, metric registry), so independent specs are safe to fan
    out across domains; results come back in spec order. *)

@@ -99,6 +99,15 @@ type result = {
 
 val run : spec -> result
 
+val with_streamed_trace : path:string -> (Clanbft_obs.Obs.t -> 'a) -> 'a
+(** [with_streamed_trace ~path f] opens [path], builds an observability
+    handle whose trace sink streams each event to it as one JSONL line at
+    emission time ({!Clanbft_obs.Trace.stream}), runs [f obs] (typically
+    [f = fun obs -> run { spec with obs = Some obs }]) and closes the
+    channel — so a long traced run never accumulates the event list in
+    memory. Streaming writes no engine events and draws no randomness:
+    the run is bit-identical to a buffered or untraced one. *)
+
 val run_many : ?pool:Clanbft_util.Pool.t -> spec array -> result array
 (** Run independent simulations across the pool's worker domains (a fresh
     default-width pool when none is given), returning results in spec

@@ -40,8 +40,10 @@ let sample_records =
       Trace.ts = 100;
       ev = Trace.Uplink { node = 7; kind = "vertex"; bytes = 640; enqueued = 100; start = 250; depart = 252 };
     };
+    { Trace.ts = 2; ev = Trace.Rbc_phase { node = 2; sender = 2; round = 9; phase = Trace.Propose } };
     { Trace.ts = 5; ev = Trace.Rbc_phase { node = 1; sender = 2; round = 9; phase = Trace.Val } };
     { Trace.ts = 6; ev = Trace.Rbc_phase { node = 1; sender = 2; round = 9; phase = Trace.Pull_retry } };
+    { Trace.ts = 8; ev = Trace.Rbc_phase { node = 1; sender = 2; round = 9; phase = Trace.Echo } };
     { Trace.ts = 7; ev = Trace.Vertex_deliver { node = 0; round = 4; source = 11 } };
     { Trace.ts = 8; ev = Trace.Vertex_commit { node = 0; round = 3; source = 2; leader_round = 4 } };
     { Trace.ts = 9; ev = Trace.Fault_fire { rule = -1; action = "mute"; kind = "ready"; src = 5; dst = 6 } };
@@ -86,6 +88,39 @@ let test_jsonl_file_roundtrip () =
        with End_of_file -> close_in ic);
       Alcotest.(check bool) "file round-trip" true (List.rev !back = sample_records))
 
+let test_stream_sink () =
+  let path = Filename.temp_file "clanbft_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let tr = Trace.stream oc in
+      Alcotest.(check bool) "stream enabled" true (Trace.enabled tr);
+      List.iter (fun { Trace.ts; ev } -> Trace.emit tr ~ts ev) sample_records;
+      Alcotest.(check int) "lines counted" (List.length sample_records)
+        (Trace.length tr);
+      (* Nothing is retained: buffered exports refuse, iter sees nothing. *)
+      Alcotest.check_raises "chrome export refused"
+        (Invalid_argument
+           "Trace.write_chrome: streaming sinks write at emission time and \
+            retain nothing to export") (fun () ->
+          Trace.write_chrome tr "/dev/null");
+      let visited = ref 0 in
+      Trace.iter tr (fun _ -> incr visited);
+      Alcotest.(check int) "iter sees nothing" 0 !visited;
+      close_out oc;
+      let ic = open_in path in
+      let back = ref [] in
+      (try
+         while true do
+           match Trace.of_jsonl_line (input_line ic) with
+           | Some r -> back := r :: !back
+           | None -> Alcotest.fail "streamed line did not parse"
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check bool) "stream round-trip" true
+        (List.rev !back = sample_records))
+
 let test_chrome_export () =
   let tr = Trace.create () in
   List.iter (fun { Trace.ts; ev } -> Trace.emit tr ~ts ev) sample_records;
@@ -110,6 +145,13 @@ let test_chrome_export () =
       in
       Alcotest.(check bool) "X span present" true (contains "\"ph\":\"X\"");
       Alcotest.(check bool) "span duration" true (contains "\"dur\":2");
+      (* The VAL -> ECHO pair on instance (1,2,9) renders as an RBC phase
+         span of 3 µs; the interleaved Pull_retry is off the chain and
+         stays an instant. *)
+      Alcotest.(check bool) "rbc val span" true (contains "\"name\":\"rbc val r9/s2\"");
+      Alcotest.(check bool) "rbc span duration" true (contains "\"dur\":3");
+      Alcotest.(check bool) "pull stays instant" true
+        (contains "\"name\":\"rbc pull_retry r9/s2\",\"cat\":\"rbc\",\"ph\":\"i\"");
       Alcotest.(check bool) "process metadata" true (contains "process_name"))
 
 (* ------------------------------------------------------------------ *)
@@ -151,7 +193,11 @@ let test_registry () =
     go 0
   in
   Alcotest.(check bool) "json counter" true (contains "\"name\":\"pulls\"");
-  Alcotest.(check bool) "json overflow bucket" true (contains "{\"le\":\"+inf\",\"count\":1}")
+  Alcotest.(check bool) "json overflow bucket" true (contains "{\"le\":\"+inf\",\"count\":1}");
+  (* Prometheus-style running totals ride along with the per-bucket counts. *)
+  Alcotest.(check bool) "json cumulative buckets" true
+    (contains
+       "\"cumulative\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":2},{\"le\":\"+inf\",\"count\":3}]")
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: a traced SMR run *)
@@ -239,6 +285,7 @@ let suites =
         Alcotest.test_case "sink limit" `Quick test_sink_limit;
         Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
         Alcotest.test_case "jsonl file round-trip" `Quick test_jsonl_file_roundtrip;
+        Alcotest.test_case "streaming sink" `Quick test_stream_sink;
         Alcotest.test_case "chrome export" `Quick test_chrome_export;
       ] );
     ( "obs.metrics",
