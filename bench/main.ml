@@ -20,9 +20,12 @@
    BENCH_sim.json).
 
    Sections can be selected on the command line:
-     dune exec bench/main.exe -- [--jobs N] table1 fig1 concrete fig5a \
-       fig5b fig5c fig6 ablation-latency ablation-rbc faults recovery \
-       metrics micro analysis perf *)
+     dune exec bench/main.exe -- [--jobs N] [--paper-scale] table1 fig1 \
+       concrete fig5a fig5b fig5c fig6 paper-scale ablation-latency \
+       ablation-rbc faults recovery metrics micro analysis perf
+
+   --paper-scale (or CLANBFT_PAPER_SCALE=1) unlocks the n=150 work: the
+   paper-scale sweep section and the n=150 perf-baseline entry. *)
 
 open Clanbft
 open Clanbft.Sim
@@ -41,6 +44,12 @@ let profile =
       exit 2
 
 let profile_name = match profile with Quick -> "quick" | Paper -> "paper" | Full -> "full"
+
+(* Paper-scale knob: the n=150 sweep and the n=150 perf-baseline entry are
+   minutes of single-core work, so they only run when explicitly requested
+   (--paper-scale or CLANBFT_PAPER_SCALE=1). The default quick profile
+   stays CI-fast. *)
+let paper_scale_enabled = ref (Sys.getenv_opt "CLANBFT_PAPER_SCALE" <> None)
 
 let section_header title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
@@ -328,6 +337,51 @@ let fig6 () =
         protocols;
       Printf.printf "\n%!")
     loads
+
+(* ------------------------------------------------------------------ *)
+(* Paper-scale sweep: the full n=150 system size of Fig. 5c, all three
+   protocols, exercising the batched fan-out fast path at its design
+   scale (149 remote copies per broadcast). *)
+
+let paper_scale () =
+  section_header "Paper-scale sweep — n=150, clan 80, all three protocols (Fig. 5 shape)";
+  if not !paper_scale_enabled then
+    Printf.printf
+      "  skipped: pass --paper-scale (or set CLANBFT_PAPER_SCALE=1) to run\n"
+  else begin
+    let n = 150 and nc = 80 in
+    let loads = [ 500; 1500 ] in
+    let duration = 3.0 and warmup = 0.9 and scale = 50 in
+    let protocols = figure_protocols ~nc ~multi:(Some 2) in
+    prefetch (figure_points ~n ~protocols ~loads ~duration ~warmup ~scale);
+    let result protocol load =
+      run_point
+        { pn = n; pprotocol = protocol; pload = load; pduration = duration;
+          pwarmup = warmup; pscale = scale }
+    in
+    List.iter
+      (fun protocol ->
+        print_figure_rows (Runner.protocol_label protocol)
+          (List.map (result protocol) loads))
+      protocols;
+    (* The Fig. 5a-c story, checked mechanically at the saturating load:
+       single-clan beats Sailfish on throughput (payload leaves one uplink
+       set, not every uplink), and multi-clan recovers proposer parallelism
+       on top of that. *)
+    let peak protocol =
+      List.fold_left
+        (fun acc load -> Float.max acc (result protocol load).Runner.throughput_ktps)
+        0.0 loads
+    in
+    let sailfish = peak Runner.Full in
+    let single = peak (Runner.Single_clan { nc }) in
+    let multi = peak (Runner.Multi_clan { q = 2 }) in
+    Printf.printf
+      "\n  Peak throughput: sailfish %.1f kTPS, single-clan %.1f kTPS, multi-clan %.1f kTPS\n"
+      sailfish single multi;
+    Printf.printf "  shape: single-clan > sailfish: %b; multi-clan > single-clan: %b\n"
+      (single > sailfish) (multi > single)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A1: latency architecture comparison (§1, §8) *)
@@ -781,28 +835,43 @@ let bench_sim_json = "BENCH_sim.json"
 
 type perf_scenario = { ps_name : string; ps_spec : Runner.spec }
 
-let perf_scenarios () =
-  let base = Runner.default_spec in
-  let mk name protocol load =
-    {
-      ps_name = name;
-      ps_spec =
-        {
-          base with
-          n = 16;
-          protocol;
-          txns_per_proposal = load;
-          duration = Time.s 4.;
-          warmup = Time.s 1.;
-          seed = point_seed name;
-        };
-    }
-  in
+let mk_perf_scenario ?(n = 16) ?(duration = 4.) ?(warmup = 1.) name protocol load =
+  {
+    ps_name = name;
+    ps_spec =
+      {
+        Runner.default_spec with
+        n;
+        protocol;
+        txns_per_proposal = load;
+        duration = Time.s duration;
+        warmup = Time.s warmup;
+        seed = point_seed name;
+      };
+  }
+
+(* The three pinned n=16 scenarios: the fingerprinted determinism anchors,
+   and the only ones traced for the analysis section (tracing an n=150 run
+   would dominate the whole bench). *)
+let pinned_perf_scenarios () =
   [
-    mk "sailfish-n16-load200" Runner.Full 200;
-    mk "single-clan-n16-load400" (Runner.Single_clan { nc = 11 }) 400;
-    mk "multi-clan-n16q2-load200" (Runner.Multi_clan { q = 2 }) 200;
+    mk_perf_scenario "sailfish-n16-load200" Runner.Full 200;
+    mk_perf_scenario "single-clan-n16-load400" (Runner.Single_clan { nc = 11 }) 400;
+    mk_perf_scenario "multi-clan-n16q2-load200" (Runner.Multi_clan { q = 2 }) 200;
   ]
+
+(* Scale scenarios ride in BENCH_sim.json behind the pinned trio: n=50
+   always (cheap enough for CI, catches fan-out regressions the n=16 runs
+   under-weight), n=150 only at --paper-scale. *)
+let perf_scenarios () =
+  pinned_perf_scenarios ()
+  @ [ mk_perf_scenario ~n:50 ~duration:2. ~warmup:0.5 "sailfish-n50-load200"
+        Runner.Full 200 ]
+  @
+  if !paper_scale_enabled then
+    [ mk_perf_scenario ~n:150 ~duration:1. ~warmup:0.25 "sailfish-n150-load200"
+        Runner.Full 200 ]
+  else []
 
 (* Traced re-runs of the pinned perf scenarios, analyzed by the Analyze
    engine. Segment percentiles are simulated-time facts — fully
@@ -822,7 +891,7 @@ let analysis_rows =
            (Trace.length obs.Obs.trace);
          assert r.Runner.agreement;
          (sc, Analyze.analyze (Trace.records obs.Obs.trace)))
-       (perf_scenarios ()))
+       (pinned_perf_scenarios ()))
 
 let analysis () =
   section_header
@@ -1076,6 +1145,7 @@ let sections =
     ("fig5b", fig5 `B);
     ("fig5c", fig5 `C);
     ("fig6", fig6);
+    ("paper-scale", paper_scale);
     ("ablation-latency", ablation_latency);
     ("ablation-rbc", ablation_rbc);
     ("faults", faults);
@@ -1098,6 +1168,9 @@ let () =
     | [ "--jobs" ] ->
         Printf.eprintf "--jobs: missing value\n";
         exit 2
+    | "--paper-scale" :: rest ->
+        paper_scale_enabled := true;
+        parse_args jobs names rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
         let v = String.sub arg 7 (String.length arg - 7) in
         match int_of_string_opt v with

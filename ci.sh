@@ -56,6 +56,30 @@ fi
 echo "replica 3 committed $commits vertices after recovering"
 rm -rf "$smoke_dir"
 
+echo "== n=50 scale smoke (sailfish, 2 s sim, 90 s wall budget) =="
+# The batched fan-out keeps large-committee runs affordable: a 50-node
+# sailfish run processes ~2.6M events in a few seconds. Budget is explicit
+# wall-clock — blowing it means the fast path regressed, not just noise.
+smoke_dir=$(mktemp -d)
+if ! timeout 90 dune exec bin/clanbft_cli.exe -- sim -n 50 -p full --load 200 \
+  --duration 2 --warmup 0.5 --seed 7 >"$smoke_dir/n50" 2>/dev/null; then
+  echo "n=50 smoke failed or exceeded its 90 s wall-clock budget"
+  exit 1
+fi
+grep -q "agree=true" "$smoke_dir/n50" || {
+  echo "agreement lost at n=50"
+  cat "$smoke_dir/n50"
+  exit 1
+}
+n50_txns=$(awk '/^committed/ { print $2 }' "$smoke_dir/n50")
+if [ -z "$n50_txns" ] || [ "$n50_txns" -le 0 ]; then
+  echo "n=50 smoke committed no transactions"
+  cat "$smoke_dir/n50"
+  exit 1
+fi
+echo "n=50 committed $n50_txns txns within budget"
+rm -rf "$smoke_dir"
+
 echo "== bench metrics smoke =="
 smoke_dir=$(mktemp -d)
 (cd "$smoke_dir" && CLANBFT_BENCH=quick dune exec --root "$OLDPWD" bench/main.exe -- metrics)
@@ -125,7 +149,7 @@ test -s "$smoke_dir/BENCH_sim.json" || {
 if command -v jq >/dev/null 2>&1; then
   jq -e '.schema == "clanbft/bench-sim/v2"
          and .jobs == 2
-         and (.scenarios | length) == 3
+         and (.scenarios | length) >= 4
          and (.scenarios | all(has("events_per_s") and has("wall_s")
               and has("minor_words") and has("commit_fingerprint")))
          and (.micro | has("sha256_mb_per_s") and has("net_send_ops_per_s")

@@ -36,6 +36,10 @@ type votes = {
   voters : Bitset.t;
   mutable clan_votes : int;
   mutable shares : (int * Keychain.signature) list;
+  (* Echo signing string for this digest, built once: every one of the ~n
+     echo receipts and the certificate check verify against the same
+     string, and rebuilding it per receipt showed up in profiles. *)
+  signing : string;
 }
 
 (* One merged vertex+block broadcast instance per (round, source). *)
@@ -83,6 +87,11 @@ type t = {
   (* dissemination *)
   slots : (int * int, slot) Hashtbl.t;
   pending : (int * int, Vertex.t) Hashtbl.t; (* delivered, parents missing *)
+  (* Reverse index over [pending]: parent slot -> children buffered on it.
+     An insertion wakes exactly the children waiting on that slot instead
+     of re-filtering every pending vertex's full parent list — the old
+     O(|pending| · edges) rescan per insert dominated at paper scale. *)
+  waiters : (int * int, (int * int) list ref) Hashtbl.t;
   blocks : (int * int, Block.t) Hashtbl.t; (* available blocks I store *)
   (* round progression *)
   mutable round : int;
@@ -159,11 +168,18 @@ let slot_of t ~round ~source =
       Hashtbl.replace t.slots (round, source) s;
       s
 
-let votes_of tbl digest n =
+let votes_of tbl ~round ~source digest n =
   match Digest32.Tbl.find_opt tbl digest with
   | Some v -> v
   | None ->
-      let v = { voters = Bitset.create n; clan_votes = 0; shares = [] } in
+      let v =
+        {
+          voters = Bitset.create n;
+          clan_votes = 0;
+          shares = [];
+          signing = Msg.echo_signing_string ~round ~source digest;
+        }
+      in
       Digest32.Tbl.replace tbl digest v;
       v
 
@@ -343,10 +359,12 @@ and maybe_echo t slot =
 (* --- ECHO / certificate -------------------------------------------- *)
 
 and on_echo t ~round ~source ~digest ~signer ~signature =
-  let msg = Msg.echo_signing_string ~round ~source digest in
-  if Keychain.verify t.keychain ~signer msg signature then begin
-    let slot = slot_of t ~round ~source in
-    let v = votes_of slot.echoes digest (Config.n t.config) in
+  (* Slot and vote state are looked up before signature verification so the
+     memoized signing string can be reused; a forged echo still only ever
+     creates empty bookkeeping, never a vote. *)
+  let slot = slot_of t ~round ~source in
+  let v = votes_of slot.echoes ~round ~source digest (Config.n t.config) in
+  if Keychain.verify t.keychain ~signer v.signing signature then begin
     if Bitset.add v.voters signer then begin
       if Config.in_payload_clan t.config ~proposer:source signer then
         v.clan_votes <- v.clan_votes + 1;
@@ -358,7 +376,7 @@ and on_echo t ~round ~source ~digest ~signer ~signature =
         && v.clan_votes >= clan_needed
       then begin
         slot.cert_sent <- true;
-        match Keychain.aggregate t.keychain ~msg v.shares with
+        match Keychain.aggregate t.keychain ~msg:v.signing v.shares with
         | None -> ()
         | Some agg ->
             Net.broadcast t.net ~src:t.me
@@ -388,11 +406,11 @@ and on_echo_cert t ~round ~source ~digest ~agg =
             (fun acc m -> if Bitset.mem signers m then acc + 1 else acc)
             0 members
     in
-    let msg = Msg.echo_signing_string ~round ~source digest in
+    let v = votes_of slot.echoes ~round ~source digest (Config.n t.config) in
     if
       total >= quorum t
       && clan_count >= Config.clan_echo_threshold t.config ~proposer:source
-      && Keychain.verify_aggregate t.keychain ~msg agg
+      && Keychain.verify_aggregate t.keychain ~msg:v.signing agg
     then certified t slot digest
   end
 
@@ -427,13 +445,23 @@ and vertex_available t slot (v : Vertex.t) =
 
 and try_insert t (v : Vertex.t) =
   if not (Store.mem t.store ~round:v.round ~source:v.source) then begin
-    match Store.missing_parents t.store v with
-    | [] -> insert t v
-    | missing ->
-        if not (Hashtbl.mem t.pending (v.round, v.source)) then begin
-          Hashtbl.replace t.pending (v.round, v.source) v;
-          request_parents t v missing
-        end
+    if Store.parents_present t.store v then insert t v
+    else
+      match Store.missing_parents t.store v with
+      | [] -> insert t v (* unreachable: presence check just failed *)
+      | missing ->
+          if not (Hashtbl.mem t.pending (v.round, v.source)) then begin
+            let key = (v.round, v.source) in
+            Hashtbl.replace t.pending key v;
+            List.iter
+              (fun (r : Vertex.vref) ->
+                let slot = (r.round, r.source) in
+                match Hashtbl.find_opt t.waiters slot with
+                | Some l -> if not (List.mem key !l) then l := key :: !l
+                | None -> Hashtbl.replace t.waiters slot (ref [ key ]))
+              missing;
+            request_parents t v missing
+          end
   end
 
 and insert t (v : Vertex.t) =
@@ -448,14 +476,20 @@ and insert t (v : Vertex.t) =
       (Trace.Vertex_deliver { node = t.me; round = v.round; source = v.source });
   if not (Hashtbl.mem t.covered (v.round, v.source)) then
     Hashtbl.replace t.uncovered (v.round, v.source) v;
-  (* A newly inserted vertex may unblock pending children. *)
-  let unblocked =
-    Hashtbl.fold
-      (fun _ child acc ->
-        if Store.missing_parents t.store child = [] then child :: acc else acc)
-      t.pending []
-  in
-  List.iter (fun child -> insert t child) unblocked;
+  (* Wake only the children buffered on this slot. A woken child may still
+     miss other parents (its waiter entries on those slots remain), so it
+     is re-checked, not blindly inserted. *)
+  (match Hashtbl.find_opt t.waiters (v.round, v.source) with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove t.waiters (v.round, v.source);
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt t.pending key with
+          | Some child when Store.parents_present t.store child ->
+              insert t child
+          | Some _ | None -> ())
+        (List.rev !l));
   try_commit t;
   maybe_advance t;
   check_caught_up t
@@ -666,6 +700,22 @@ and on_sync_reply t ~floor ~highest =
           t.pending []
       in
       List.iter (Hashtbl.remove t.pending) doomed;
+      let doomed_waits =
+        Hashtbl.fold
+          (fun ((r, _) as k) _ acc -> if r < floor then k :: acc else acc)
+          t.waiters []
+      in
+      List.iter (Hashtbl.remove t.waiters) doomed_waits;
+      (* Surviving children whose missing parents fell below the adopted
+         floor will never be woken by the waiter index (those parents are
+         gone for good); they are satisfied now. *)
+      let unblocked =
+        Hashtbl.fold
+          (fun _ v acc ->
+            if Store.parents_present t.store v then v :: acc else acc)
+          t.pending []
+      in
+      List.iter (fun v -> insert t v) unblocked;
       trace_recovery t ~stage:"snapshot_join" ~round:floor
     end;
     check_caught_up t
@@ -817,6 +867,7 @@ and garbage_collect t =
     drop_below t.uncovered;
     drop_below t.blocks;
     drop_below t.pending;
+    drop_below t.waiters;
     let drop_slots =
       Hashtbl.fold
         (fun ((r, _) as k) _ acc -> if r < horizon then k :: acc else acc)
@@ -838,11 +889,13 @@ and garbage_collect t =
     drop_rounds t.timeout_sent;
     (* Raising the floor may satisfy a pending vertex whose only missing
        parents were just pruned (references below the floor count as
-       present). *)
+       present) — those parents will never insert, so the waiter index
+       cannot wake such children; rescan the (small, post-drop) pending
+       set directly. *)
     let unblocked =
       Hashtbl.fold
         (fun _ v acc ->
-          if Store.missing_parents t.store v = [] then v :: acc else acc)
+          if Store.parents_present t.store v then v :: acc else acc)
         t.pending []
     in
     List.iter (fun v -> insert t v) unblocked
@@ -1151,6 +1204,7 @@ let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
       on_block;
       slots = Hashtbl.create 256;
       pending = Hashtbl.create 16;
+      waiters = Hashtbl.create 16;
       blocks = Hashtbl.create 256;
       round = 0;
       proposed = false;

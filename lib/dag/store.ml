@@ -37,15 +37,38 @@ let find_ref t (r : Vertex.vref) =
   | Some v when Clanbft_crypto.Digest32.equal v.digest r.digest -> Some v
   | Some _ | None -> None
 
-let parents (v : Vertex.t) =
-  Array.to_list v.strong_edges @ Array.to_list v.weak_edges
-
 (* References below the GC floor count as satisfied: their subtree was
    already ordered and pruned. *)
+let ref_satisfied t (r : Vertex.vref) = r.round < t.floor || find_ref t r <> None
+
+(* Allocation-free insertion guard. Strong edges all target [v.round - 1],
+   so the per-round count doubles as a missing-parent counter: an empty
+   previous round (above the floor) fails every strong edge at once, and the
+   slot array is resolved with a single table lookup instead of one per
+   edge. Weak edges are rare and probed individually. *)
+let parents_present t (v : Vertex.t) =
+  let strong_ok =
+    Array.length v.strong_edges = 0
+    || v.round - 1 < t.floor
+    ||
+    match Hashtbl.find_opt t.rounds (v.round - 1) with
+    | None -> false
+    | Some a ->
+        Array.for_all
+          (fun (r : Vertex.vref) ->
+            r.source >= 0 && r.source < t.n
+            &&
+            match a.(r.source) with
+            | Some p -> Clanbft_crypto.Digest32.equal p.digest r.digest
+            | None -> false)
+          v.strong_edges
+  in
+  strong_ok && Array.for_all (ref_satisfied t) v.weak_edges
+
 let missing_parents t (v : Vertex.t) =
-  List.filter
-    (fun (r : Vertex.vref) -> r.round >= t.floor && find_ref t r = None)
-    (parents v)
+  let acc = ref [] in
+  Vertex.iter_edges v (fun r -> if not (ref_satisfied t r) then acc := r :: !acc);
+  List.rev !acc
 
 let add t (v : Vertex.t) =
   if v.round < t.floor then invalid_arg "Store.add: below pruned horizon";
@@ -54,7 +77,7 @@ let add t (v : Vertex.t) =
       if not (Clanbft_crypto.Digest32.equal existing.digest v.digest) then
         invalid_arg "Store.add: conflicting vertex for an occupied slot"
   | None ->
-      if missing_parents t v <> [] then
+      if not (parents_present t v) then
         invalid_arg "Store.add: parent missing";
       (slots t v.round).(v.source) <- Some v;
       (match Hashtbl.find_opt t.counts v.round with
@@ -109,10 +132,8 @@ let causal_history t (v : Vertex.t) ~skip =
       Hashtbl.replace visited (v.round, v.source) ();
       if not (skip ~round:v.round ~source:v.source) then begin
         acc := v :: !acc;
-        List.iter
-          (fun r ->
+        Vertex.iter_edges v (fun r ->
             match find_ref t r with Some p -> visit p | None -> ())
-          (parents v)
       end
     end
   in
@@ -126,13 +147,38 @@ let highest_round t = t.highest
 let floor t = t.floor
 
 let prune_below t ~round =
-  for r = t.floor to round - 1 do
-    (match Hashtbl.find_opt t.counts r with
-    | Some c -> t.size <- t.size - !c
-    | None -> ());
-    Hashtbl.remove t.rounds r;
-    Hashtbl.remove t.counts r
-  done;
-  if round > t.floor then t.floor <- round
+  if round > t.floor then begin
+    (* Key-driven when the gap outnumbers the live rounds: after a long
+       idle stretch or a snapshot join the floor can jump by millions of
+       rounds while the store holds only a handful, so iterating the
+       integer range would be O(gap). *)
+    let gap = round - t.floor in
+    let drop r =
+      (match Hashtbl.find_opt t.counts r with
+      | Some c -> t.size <- t.size - !c
+      | None -> ());
+      Hashtbl.remove t.rounds r;
+      Hashtbl.remove t.counts r
+    in
+    if gap <= Hashtbl.length t.rounds + Hashtbl.length t.counts then
+      for r = t.floor to round - 1 do
+        drop r
+      done
+    else begin
+      let doomed =
+        Hashtbl.fold (fun r _ acc -> if r < round then r :: acc else acc)
+          t.rounds []
+      in
+      List.iter drop doomed;
+      (* [counts] keys mirror [rounds], but sweep defensively in case a
+         future change lets them diverge. *)
+      let doomed =
+        Hashtbl.fold (fun r _ acc -> if r < round then r :: acc else acc)
+          t.counts []
+      in
+      List.iter drop doomed
+    end;
+    t.floor <- round
+  end
 
 let size t = t.size

@@ -58,6 +58,13 @@ val missing_parents : t -> Vertex.t -> Vertex.vref list
     the {!prune_below} horizon count as present (their subtree was ordered
     and collected). *)
 
+val parents_present : t -> Vertex.t -> bool
+(** [parents_present t v] ⇔ [missing_parents t v = []], without building
+    the list: index-based edge probes with early exit, using the per-round
+    occupancy count to reject a whole empty previous round at once. This
+    is the hot-path form — every insertion attempt and every
+    pending-vertex wake-up runs it, so at [n = 150] it must not allocate. *)
+
 val vertices_at : t -> int -> Vertex.t list
 (** All vertices of a round, ascending source order. *)
 

@@ -192,6 +192,10 @@ let analyze ?(stall_factor = 5.0) records =
       | Trace.Msg_send { src; dst; _ } | Trace.Msg_recv { src; dst; _ } ->
           see_node src;
           see_node dst
+      | Trace.Msg_bcast { src; _ } ->
+          (* Batched fan-out: recipients are discovered via their Msg_recv
+             records; wire accounting comes from the batched Uplink span. *)
+          see_node src
       | Trace.Uplink { node; bytes; enqueued; start; depart; _ } ->
           see_node node;
           let u =

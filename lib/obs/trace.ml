@@ -21,6 +21,7 @@ let phase_of_name = function
 
 type event =
   | Msg_send of { src : int; dst : int; kind : string; bytes : int }
+  | Msg_bcast of { src : int; kind : string; bytes : int; count : int }
   | Msg_recv of { src : int; dst : int; kind : string; bytes : int }
   | Uplink of {
       node : int;
@@ -64,6 +65,10 @@ let jsonl_of_record { ts; ev } =
       Printf.sprintf
         {|{"ts":%d,"type":"msg_send","src":%d,"dst":%d,"kind":"%s","bytes":%d}|}
         ts src dst (escape kind) bytes
+  | Msg_bcast { src; kind; bytes; count } ->
+      Printf.sprintf
+        {|{"ts":%d,"type":"msg_bcast","src":%d,"kind":"%s","bytes":%d,"count":%d}|}
+        ts src (escape kind) bytes count
   | Msg_recv { src; dst; kind; bytes } ->
       Printf.sprintf
         {|{"ts":%d,"type":"msg_recv","src":%d,"dst":%d,"kind":"%s","bytes":%d}|}
@@ -164,6 +169,12 @@ let of_jsonl_line line =
         Some
           (if typ = "msg_send" then Msg_send { src; dst; kind; bytes }
            else Msg_recv { src; dst; kind; bytes })
+    | "msg_bcast" ->
+        let* src = int_field line "src" in
+        let* kind = str_field line "kind" in
+        let* bytes = int_field line "bytes" in
+        let* count = int_field line "count" in
+        Some (Msg_bcast { src; kind; bytes; count })
     | "uplink" ->
         let* node = int_field line "node" in
         let* kind = str_field line "kind" in
@@ -344,6 +355,11 @@ let write_chrome t path =
           note_pid src;
           chrome_instant b ~name:("send " ^ kind) ~cat:"net" ~ts ~pid:src ~tid:0
             ~args:(Printf.sprintf {|"dst":%d,"bytes":%d|} dst bytes)
+      | Msg_bcast { src; kind; bytes; count } ->
+          note_pid src;
+          chrome_instant b ~name:("bcast " ^ kind) ~cat:"net" ~ts ~pid:src
+            ~tid:0
+            ~args:(Printf.sprintf {|"count":%d,"bytes":%d|} count bytes)
       | Msg_recv { src; dst; kind; bytes } ->
           note_pid dst;
           chrome_instant b ~name:("recv " ^ kind) ~cat:"net" ~ts ~pid:dst ~tid:0

@@ -55,6 +55,12 @@ val phase_of_name : string -> phase option
 type event =
   | Msg_send of { src : int; dst : int; kind : string; bytes : int }
       (** Enqueued on [src]'s uplink (or the loopback path). *)
+  | Msg_bcast of { src : int; kind : string; bytes : int; count : int }
+      (** One batched fan-out ([Net.broadcast] / [Net.multicast]): [count]
+          copies of a [bytes]-sized message left [src] at [ts]. Replaces
+          the [count] individual [Msg_send] records the fan-out would have
+          emitted; per-recipient [Msg_recv] records are still emitted at
+          each arrival. *)
   | Msg_recv of { src : int; dst : int; kind : string; bytes : int }
       (** Delivered to [dst]'s handler; the record's [ts] is arrival time. *)
   | Uplink of {

@@ -7,12 +7,27 @@
 
 type t
 
+val horizon : Time.span
+(** Width of the calendar ring, in µs: events within [horizon] of the
+    clock sit in O(1) ring buckets, anything further parks in an overflow
+    heap and migrates in as the clock approaches. Exposed so boundary
+    tests track the constant. *)
+
 val create : unit -> t
 
 val now : t -> Time.t
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** Raises [Invalid_argument] if the time is in the past. *)
+
+val schedule_ix_at : t -> Time.t -> (int -> unit) -> int -> unit
+(** [schedule_ix_at t time fn arg] runs [fn arg] at [time]. Semantically
+    [schedule_at t time (fun () -> fn arg)], but the closure is shared:
+    a fan-out delivering one message to [n] recipients schedules [n]
+    compact (callback, index) cells around a {e single} shared callback
+    instead of allocating [n] environments. Ordering within a microsecond
+    is unchanged — [Fn] and [Ix] events interleave in scheduling order.
+    Raises [Invalid_argument] if the time is in the past. *)
 
 val schedule_after : t -> Time.span -> (unit -> unit) -> unit
 

@@ -117,6 +117,22 @@ let kind_handles t kind =
 let serialization_us config bytes =
   int_of_float (ceil (float_of_int bytes *. 8.0 /. (config.uplink_gbps *. 1_000.0)))
 
+(* Latency jitter for one copy, in µs. Draws nothing when jitter is off, so
+   a jitter-free run consumes an identical RNG stream.
+
+   The draw must be symmetric around zero: u is uniform on [-1, 1) and the
+   scaled value is rounded to nearest, so every integer offset k and its
+   mirror -k are equally likely. (An earlier version truncated toward zero,
+   which folded the whole (-1, 1) µs band into a double-width zero bin and
+   shifted every bin boundary by a full µs, and together with the included
+   -1.0 endpoint biased the mean downward — visible in tail percentiles at
+   scale.) *)
+let jitter_draw config ~rng ~base =
+  if config.jitter = 0.0 then 0
+  else
+    let u = (2.0 *. Rng.float rng 1.0) -. 1.0 in
+    int_of_float (Float.round (float_of_int base *. config.jitter *. u))
+
 (* [bytes]/[kind] are computed once in [send] and threaded through so the
    receive path never re-serializes the message. *)
 let deliver t ~src ~dst ~bytes ~kind msg arrival =
@@ -157,12 +173,7 @@ let send_priced t ~src ~dst ~bytes ~kind msg =
         Trace.emit tr ~ts:now
           (Trace.Uplink { node = src; kind; bytes; enqueued = now; start; depart });
       let base_latency = Topology.one_way t.topology ~src ~dst in
-      let jitter =
-        if t.config.jitter = 0.0 then 0
-        else
-          let u = (2.0 *. Rng.float t.rng 1.0) -. 1.0 in
-          int_of_float (float_of_int base_latency *. t.config.jitter *. u)
-      in
+      let jitter = jitter_draw t.config ~rng:t.rng ~base:base_latency in
       let adversarial =
         if now < t.config.gst && t.config.pre_gst_max_extra > 0 then
           Rng.int t.rng (t.config.pre_gst_max_extra + 1)
@@ -179,18 +190,112 @@ let send t ~src ~dst msg =
   let bytes, kind = price t msg in
   send_priced t ~src ~dst ~bytes ~kind msg
 
+(* Batched fan-out: the same priced message to every destination produced by
+   [iter], in iteration order. Event for event this is equivalent to calling
+   [send_priced] per destination — same filter consultations, same RNG
+   draws in the same order, same departure and arrival microseconds, same
+   within-bucket scheduling order — but the per-message costs are paid once
+   per fan-out instead of once per copy:
+
+   - recipients share a single delivery closure, each copy costing one
+     compact [Engine.Ix] cell in the ring instead of its own environment;
+   - serialization is priced once ([ser]) and the per-copy departures are
+     derived from it as the uplink FIFO advances;
+   - counters are bumped once with the accepted-copy multiple, and the
+     backlog histogram records the burst's initial queue depth rather than
+     [n] self-inflicted samples;
+   - the trace carries one [Msg_bcast] record plus one uplink span covering
+     the whole burst (contiguous by FIFO construction: the span's
+     [depart - start] equals the summed per-copy serialization).
+
+   The filter runs inside the loop and may legitimately re-enter [send]
+   (fault delay/duplicate re-injection), so the uplink cursor
+   [t.uplink_free.(src)] is re-read on every iteration rather than cached. *)
+let fanout t ~src ~iter msg =
+  let bytes, kind = price t msg in
+  let now = Engine.now t.engine in
+  let ser = serialization_us t.config bytes in
+  let recv dst =
+    Metrics.add t.bytes_received.(dst) bytes;
+    if Trace.enabled t.obs.Obs.trace then
+      Trace.emit t.obs.Obs.trace ~ts:(Engine.now t.engine)
+        (Trace.Msg_recv { src; dst; kind; bytes });
+    t.handlers.(dst) ~src msg
+  in
+  let accepted = ref 0 and remote = ref 0 in
+  let first_backlog = ref 0 and first_start = ref 0 and last_depart = ref 0 in
+  iter (fun dst ->
+      if t.filter ~src ~dst msg then begin
+        incr accepted;
+        if dst = src then
+          Engine.schedule_ix_at t.engine (now + t.config.local_delivery) recv
+            dst
+        else begin
+          let free = t.uplink_free.(src) in
+          let start = max now free in
+          let depart = start + ser in
+          t.uplink_free.(src) <- depart;
+          if !remote = 0 then begin
+            first_backlog := max 0 (free - now);
+            first_start := start
+          end;
+          incr remote;
+          last_depart := depart;
+          let base_latency = Topology.one_way t.topology ~src ~dst in
+          let jitter = jitter_draw t.config ~rng:t.rng ~base:base_latency in
+          let adversarial =
+            if now < t.config.gst && t.config.pre_gst_max_extra > 0 then
+              Rng.int t.rng (t.config.pre_gst_max_extra + 1)
+            else 0
+          in
+          let arrival = depart + max 0 (base_latency + jitter) + adversarial in
+          Engine.schedule_ix_at t.engine arrival recv dst
+        end
+      end);
+  if !accepted > 0 then begin
+    Metrics.add t.bytes_sent.(src) (bytes * !accepted);
+    Metrics.add t.messages_sent.(src) !accepted;
+    Metrics.add t.total_bytes (bytes * !accepted);
+    Metrics.add t.total_messages !accepted;
+    let kh = kind_handles t kind in
+    Metrics.add kh.k_bytes (bytes * !accepted);
+    Metrics.add kh.k_msgs !accepted;
+    if !remote > 0 then begin
+      Metrics.observe t.uplink_backlog (float_of_int !first_backlog);
+      Metrics.add t.uplink_busy (ser * !remote)
+    end;
+    let tr = t.obs.Obs.trace in
+    if Trace.enabled tr then begin
+      Trace.emit tr ~ts:now
+        (Trace.Msg_bcast { src; kind; bytes; count = !accepted });
+      if !remote > 0 then
+        Trace.emit tr ~ts:now
+          (Trace.Uplink
+             {
+               node = src;
+               kind;
+               bytes = bytes * !remote;
+               enqueued = now;
+               start = !first_start;
+               depart = !last_depart;
+             })
+    end
+  end
+
 let multicast t ~src ~dsts msg =
   match dsts with
   | [] -> ()
-  | dsts ->
-      let bytes, kind = price t msg in
-      List.iter (fun dst -> send_priced t ~src ~dst ~bytes ~kind msg) dsts
+  | [ dst ] -> send t ~src ~dst msg
+  | dsts -> fanout t ~src ~iter:(fun f -> List.iter f dsts) msg
 
 let broadcast t ~src msg =
-  let bytes, kind = price t msg in
-  for dst = 0 to n t - 1 do
-    send_priced t ~src ~dst ~bytes ~kind msg
-  done
+  let count = n t in
+  fanout t ~src
+    ~iter:(fun f ->
+      for dst = 0 to count - 1 do
+        f dst
+      done)
+    msg
 
 let bytes_sent t i = Metrics.counter_value t.bytes_sent.(i)
 let bytes_received t i = Metrics.counter_value t.bytes_received.(i)
@@ -208,4 +313,11 @@ let reset_metrics t =
     (fun _ kh ->
       Metrics.reset_counter kh.k_bytes;
       Metrics.reset_counter kh.k_msgs)
-    t.by_kind
+    t.by_kind;
+  (* Uplink occupancy state must not leak into the next measured section:
+     the busy counter and backlog histogram are observations, and the FIFO
+     cursors only matter relative to the engine clock of the traffic that
+     built them up. *)
+  Metrics.reset_counter t.uplink_busy;
+  Stats.Histogram.reset (Metrics.hist t.uplink_backlog);
+  Array.fill t.uplink_free 0 (Array.length t.uplink_free) 0

@@ -55,10 +55,27 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 val multicast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
 (** Unicast fan-out: each copy pays its own serialization delay, like TCP
-    fan-out on a real VM. *)
+    fan-out on a real VM.
+
+    Fan-outs of two or more destinations take a batched fast path that is
+    {e timing-equivalent} to per-destination {!send} — identical filter
+    calls, RNG draws, departure and arrival times, and within-microsecond
+    ordering (asserted by [test/test_sim.ml]) — but pays the per-message
+    costs once per fan-out: recipients share one delivery closure, the
+    counters are bumped once with the copy-count multiple, and the trace
+    carries one [Msg_bcast] record plus a single uplink span covering the
+    whole burst instead of per-copy [Msg_send]/[Uplink] records. The
+    backlog histogram records the burst's initial queue depth once rather
+    than a sample per copy. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 (** [multicast] to all nodes including the sender (self copy is local). *)
+
+val jitter_draw :
+  config -> rng:Clanbft_util.Rng.t -> base:Time.span -> Time.span
+(** The per-copy latency-jitter draw (µs offset applied to [base], the
+    one-way propagation delay). Exposed so tests can pin the
+    distribution's symmetry; consumes nothing when [config.jitter = 0]. *)
 
 val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> bool) -> unit
 (** Fault-injection hook: messages for which the filter returns [false] are

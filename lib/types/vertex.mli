@@ -42,6 +42,18 @@ val ref_of : t -> vref
 val vref_wire_size : int
 (** Bytes per edge: round + source + digest. *)
 
+val edge_count : t -> int
+(** Total parent references: strong + weak. *)
+
+val iter_edges : t -> (vref -> unit) -> unit
+(** Apply to every parent reference, strong edges first then weak —
+    index-based, allocating nothing (unlike materialising the edge arrays
+    as a list, which dominated DAG bookkeeping at large [n]). *)
+
+val for_all_edges : t -> (vref -> bool) -> bool
+(** Does the predicate hold for every parent reference? Short-circuits on
+    the first failure; same order as {!iter_edges}, no allocation. *)
+
 val wire_size : n:int -> t -> int
 (** Exact wire bytes given tribe size [n] (certificates embed an
     ⌈n/8⌉-bit signer vector). O(1): the edge-dependent part is cached at

@@ -140,6 +140,55 @@ let test_prune () =
   Alcotest.(check int) "no missing parents below floor" 0
     (List.length (Store.missing_parents s late))
 
+let test_prune_huge_gap () =
+  (* Regression: prune_below iterated every integer round in [floor, round),
+     so a node adopting a snapshot far ahead (or pruning after a long idle
+     stretch) spun through millions of empty rounds. The key-driven path
+     must handle a ~10^15-round jump instantly and leave the store usable. *)
+  let s, _, _, _ = build_world () in
+  let far = 1_000_000_000_000_000 in
+  Store.prune_below s ~round:far;
+  Alcotest.(check int) "everything pruned" 0 (Store.size s);
+  Alcotest.(check int) "floor adopted" far (Store.floor s);
+  (* Rounds below the new floor count as satisfied parents. *)
+  let ghost = mk ~round:(far - 1) ~source:0 ~strong:[] ~weak:[] in
+  let v = mk ~round:far ~source:0 ~strong:[ ghost ] ~weak:[] in
+  Alcotest.(check int) "ghost parent satisfied" 0
+    (List.length (Store.missing_parents s v));
+  Store.add s v;
+  Alcotest.(check int) "insertable at the new floor" 1 (Store.size s);
+  (* A second huge jump with live vertices present. *)
+  Store.prune_below s ~round:(2 * far);
+  Alcotest.(check int) "pruned again" 0 (Store.size s)
+
+let test_parents_present_matches_missing () =
+  (* parents_present is the allocation-free fast path the insert loop uses;
+     it must agree with missing_parents = [] in every case. *)
+  let s = Store.create ~n:4 in
+  let r0 = List.init 4 (fun i -> mk ~round:0 ~source:i ~strong:[] ~weak:[]) in
+  List.iter (Store.add s) r0;
+  let child = mk ~round:1 ~source:0 ~strong:r0 ~weak:[] in
+  Alcotest.(check bool) "all parents in" true (Store.parents_present s child);
+  let orphan_parent = mk ~round:1 ~source:3 ~strong:r0 ~weak:[] in
+  let orphan = mk ~round:2 ~source:0 ~strong:[ orphan_parent ] ~weak:[] in
+  Alcotest.(check bool) "missing strong parent" false (Store.parents_present s orphan);
+  Alcotest.(check bool) "agrees with missing_parents" true
+    (Store.missing_parents s orphan <> []);
+  (* A weak edge whose digest doesn't match the stored occupant blocks. *)
+  let r1 = List.init 4 (fun i -> mk ~round:1 ~source:i ~strong:r0 ~weak:[]) in
+  List.iter (Store.add s) r1;
+  let impostor =
+    Vertex.make ~round:0 ~source:3 ~block_digest:(Digest32.hash_string "impostor")
+      ~strong_edges:[||] ~weak_edges:[||] ()
+  in
+  let weak_blocked = mk ~round:2 ~source:1 ~strong:r1 ~weak:[ impostor ] in
+  Alcotest.(check bool) "mismatched weak parent" false
+    (Store.parents_present s weak_blocked);
+  Store.prune_below s ~round:1;
+  let below_floor = mk ~round:1 ~source:2 ~strong:r0 ~weak:[] in
+  Alcotest.(check bool) "parents below floor satisfied" true
+    (Store.parents_present s below_floor)
+
 let test_determinism_across_insertion_orders () =
   (* The causal history must not depend on insertion order. *)
   let build order =
@@ -173,6 +222,9 @@ let suites =
         Alcotest.test_case "history skip" `Quick test_causal_history_skip;
         Alcotest.test_case "weak edges in history" `Quick test_causal_history_weak_edges_included;
         Alcotest.test_case "prune" `Quick test_prune;
+        Alcotest.test_case "prune across a huge gap" `Quick test_prune_huge_gap;
+        Alcotest.test_case "parents_present fast path" `Quick
+          test_parents_present_matches_missing;
         Alcotest.test_case "insertion-order independence" `Quick
           test_determinism_across_insertion_orders;
       ] );

@@ -36,6 +36,7 @@ let sample_records =
   [
     { Trace.ts = 0; ev = Trace.Msg_send { src = 0; dst = 15; kind = "val"; bytes = 123_456 } };
     { Trace.ts = 17; ev = Trace.Msg_recv { src = 3; dst = 4; kind = "echo_cert"; bytes = 96 } };
+    { Trace.ts = 21; ev = Trace.Msg_bcast { src = 5; kind = "echo"; bytes = 150; count = 149 } };
     {
       Trace.ts = 100;
       ev = Trace.Uplink { node = 7; kind = "vertex"; bytes = 640; enqueued = 100; start = 250; depart = 252 };
@@ -235,6 +236,7 @@ let test_trace_ordering () =
           incr commits;
           Alcotest.(check bool) "committed under a leader" true (round <= leader_round)
       | Trace.Msg_send _ -> incr sends
+      | Trace.Msg_bcast { count; _ } -> sends := !sends + count
       | Trace.Msg_recv _ -> incr recvs
       | _ -> ());
   Alcotest.(check bool) "saw commits" true (!commits > 0);

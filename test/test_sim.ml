@@ -1,3 +1,4 @@
+open Clanbft
 open Clanbft.Sim
 module Rng = Clanbft.Util.Rng
 
@@ -92,10 +93,10 @@ let test_engine_far_future () =
   Alcotest.(check int) "clock" 60_000_000 (Engine.now e)
 
 let test_engine_ring_horizon_boundary () =
-  (* The calendar ring covers [clock, clock + 2^23); an event exactly at
+  (* The calendar ring covers [clock, clock + horizon); an event exactly at
      the horizon parks in the overflow heap and must migrate back and fire
      at its precise microsecond, interleaved correctly with ring events. *)
-  let horizon = 1 lsl 23 in
+  let horizon = Engine.horizon in
   let e = Engine.create () in
   let log = ref [] in
   Engine.schedule_at e horizon (fun () -> log := ("boundary", Engine.now e) :: !log);
@@ -111,7 +112,7 @@ let test_engine_overflow_migration_keeps_time () =
   (* An overflow event whose slot the clock approaches gradually (so it
      migrates rather than being jumped to) shares its instant with a
      late-scheduled ring event; both must run at that exact time. *)
-  let horizon = 1 lsl 23 in
+  let horizon = Engine.horizon in
   let target = horizon + 500 in
   let e = Engine.create () in
   let log = ref [] in
@@ -163,6 +164,51 @@ let test_engine_cascading () =
   Engine.run e;
   Alcotest.(check int) "all ticks" 100 !count;
   Alcotest.(check int) "events processed" 100 (Engine.events_processed e)
+
+let test_engine_last_ring_slot () =
+  (* An event at horizon - 1 is the furthest that still fits in the ring;
+     it must stay there (no overflow round-trip) and fire on time even when
+     the ring index wraps (clock > 0 at scheduling time). *)
+  let horizon = Engine.horizon in
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e 7 (fun () ->
+      (* From clock = 7 the furthest ring slot is 7 + horizon - 1. *)
+      Engine.schedule_after e (horizon - 1) (fun () ->
+          log := ("edge", Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "edge-of-ring event fires at its exact instant"
+    [ ("edge", 7 + horizon - 1) ]
+    (List.rev !log)
+
+let test_engine_overflow_same_instant_fifo () =
+  (* Several overflow events aimed at one microsecond migrate in the order
+     they were scheduled (the heap breaks priority ties FIFO). *)
+  let target = Engine.horizon + 123 in
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 4 do
+    Engine.schedule_at e target (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order survives the overflow heap"
+    [ 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_mixed_event_kinds_fifo () =
+  (* schedule_at and schedule_ix_at aimed at the same microsecond run in
+     scheduling order regardless of event kind — the batched-delivery
+     guarantee that keeps broadcast runs byte-identical to per-send runs. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let shared tag = log := tag :: !log in
+  Engine.schedule_at e 50 (fun () -> log := 0 :: !log);
+  Engine.schedule_ix_at e 50 shared 1;
+  Engine.schedule_at e 50 (fun () -> log := 2 :: !log);
+  Engine.schedule_ix_at e 50 shared 3;
+  Engine.run e;
+  Alcotest.(check (list int)) "Fn and Ix interleave in scheduling order"
+    [ 0; 1; 2; 3 ] (List.rev !log)
 
 let test_engine_step () =
   let e = Engine.create () in
@@ -304,6 +350,112 @@ let test_net_metrics () =
   Net.reset_metrics net;
   Alcotest.(check int) "reset" 0 (Net.total_bytes net)
 
+let test_net_reset_metrics_full () =
+  (* Regression: reset_metrics used to zero only the byte/message counters,
+     leaving uplink_busy, the backlog histogram, and — worst — the
+     uplink_free cursors stale, so the section measured after a reset
+     started with phantom queueing delay. *)
+  let engine, net = mk_net ~config:no_jitter () in
+  Net.set_handler net 1 (fun ~src:_ _ -> ());
+  Net.set_handler net 0 (fun ~src:_ _ -> ());
+  let payload = String.make 1_000_000 'x' in
+  Net.send net ~src:0 ~dst:1 payload;
+  Net.send net ~src:0 ~dst:1 payload;
+  Engine.run engine;
+  Net.reset_metrics net;
+  let reg = Net.registry net in
+  (match Metrics.find reg "uplink_busy_us_total" with
+  | Some (Metrics.Counter_v v) -> Alcotest.(check int) "uplink_busy cleared" 0 v
+  | _ -> Alcotest.fail "uplink_busy_us_total missing");
+  (match Metrics.find reg "uplink_backlog_us" with
+  | Some (Metrics.Histogram_v h) ->
+      Alcotest.(check int) "backlog histogram cleared" 0
+        (Clanbft.Util.Stats.Histogram.count h)
+  | _ -> Alcotest.fail "uplink_backlog_us missing");
+  (* A fresh message after the reset must see an idle uplink: same arrival
+     time as the very first send of the run, not queued behind the
+     pre-reset burst. *)
+  let arrival = ref (-1) in
+  Net.set_handler net 1 (fun ~src:_ _ -> arrival := Engine.now engine);
+  let base = Engine.now engine in
+  Net.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Alcotest.(check int) "uplink cursor cleared" (base + 10_001) !arrival
+
+let test_net_multicast_matches_sends () =
+  (* The batched fan-out fast path must be timing-equivalent to issuing one
+     send per destination: same RNG draws, same departure and arrival
+     times, same per-destination order — with jitter on, any divergence in
+     draw order shows up immediately. *)
+  let record sendf =
+    let config = { Net.default_config with jitter = 0.05 } in
+    let engine = Engine.create () in
+    let topology = Topology.uniform ~n:6 ~one_way_ms:10.0 in
+    let net =
+      Net.create ~engine ~topology ~config ~size:String.length
+        ~rng:(Rng.create 42L) ()
+    in
+    let log = ref [] in
+    for i = 0 to 5 do
+      Net.set_handler net i (fun ~src:_ _ -> log := (i, Engine.now engine) :: !log)
+    done;
+    sendf net;
+    Engine.run engine;
+    List.rev !log
+  in
+  let dsts = [ 1; 2; 3; 4; 5 ] in
+  let batched = record (fun net -> Net.multicast net ~src:0 ~dsts "payload") in
+  let unicast =
+    record (fun net -> List.iter (fun dst -> Net.send net ~src:0 ~dst "payload") dsts)
+  in
+  Alcotest.(check (list (pair int int)))
+    "batched fan-out delivers at identical instants in identical order"
+    unicast batched;
+  (* Self-delivery keeps its loopback semantics on the fast path too. *)
+  let batched_self = record (fun net -> Net.multicast net ~src:0 ~dsts:[ 0; 1; 2 ] "p") in
+  let unicast_self =
+    record (fun net -> List.iter (fun dst -> Net.send net ~src:0 ~dst "p") [ 0; 1; 2 ])
+  in
+  Alcotest.(check (list (pair int int))) "self copy identical" unicast_self batched_self
+
+let test_net_jitter_symmetric () =
+  (* The jitter draw must be symmetric: round-to-nearest over u uniform in
+     [-1, 1). The pre-fix truncation toward zero folded the whole (-1, 1)
+     µs band onto 0 and shifted every bin edge; with base * jitter = 100
+     that inflated the zero bin ~2x and made +100 unreachable. The checks
+     below are deterministic for the fixed seed and fail against the
+     truncating implementation. *)
+  let config = { Net.default_config with jitter = 0.1 } in
+  let rng = Rng.create 7L in
+  let base = 1_000 in
+  let n = 100_000 in
+  let sum = ref 0 and pos = ref 0 and neg = ref 0 and zero = ref 0 in
+  let hi = ref 0 and lo = ref 0 in
+  for _ = 1 to n do
+    let j = Net.jitter_draw config ~rng ~base in
+    sum := !sum + j;
+    if j > 0 then incr pos else if j < 0 then incr neg else incr zero;
+    if j > !hi then hi := j;
+    if j < !lo then lo := j
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* sigma/sqrt(n) ~ 0.18µs for uniform ±100µs; 1µs is a generous 5-sigma
+     band, while the truncation bug biased the zero bin, not the mean. *)
+  Alcotest.(check bool) "mean centred on zero" true (Float.abs mean < 1.0);
+  (* P(j = 0) = 1/200 under rounding vs 1/100 under truncation: expect
+     ~500 zeros, and well under 750 (the bug gives ~1000). *)
+  Alcotest.(check bool) "zero bin not inflated" true (!zero < 750);
+  (* Sign balance: |pos - neg| is a +/-2 sigma binomial fluctuation. *)
+  Alcotest.(check bool) "sign symmetric" true (abs (!pos - !neg) < 1_000);
+  (* Both extremes reachable: truncation could never produce +100. *)
+  Alcotest.(check int) "max offset" 100 !hi;
+  Alcotest.(check int) "min offset" (-100) !lo;
+  (* jitter = 0 consumes nothing from the stream. *)
+  let r1 = Rng.create 9L and r2 = Rng.create 9L in
+  let (_ : int) = Net.jitter_draw { config with jitter = 0.0 } ~rng:r1 ~base in
+  Alcotest.(check int) "no draw when jitter off" (Rng.int r2 1_000_000)
+    (Rng.int r1 1_000_000)
+
 let test_net_broadcast () =
   let engine, net = mk_net ~config:no_jitter () in
   let got = Array.make 4 0 in
@@ -349,6 +501,11 @@ let suites =
         Alcotest.test_case "fifo across scheduling instants" `Quick
           test_engine_fifo_across_scheduling_instants;
         Alcotest.test_case "cascading timers" `Quick test_engine_cascading;
+        Alcotest.test_case "last ring slot" `Quick test_engine_last_ring_slot;
+        Alcotest.test_case "overflow same-instant fifo" `Quick
+          test_engine_overflow_same_instant_fifo;
+        Alcotest.test_case "mixed event kinds fifo" `Quick
+          test_engine_mixed_event_kinds_fifo;
         Alcotest.test_case "step" `Quick test_engine_step;
         qtest prop_engine_deterministic;
       ] );
@@ -367,6 +524,10 @@ let suites =
         Alcotest.test_case "pre-GST delays" `Quick test_net_pre_gst_delays;
         Alcotest.test_case "filter drops" `Quick test_net_filter_drops;
         Alcotest.test_case "metrics" `Quick test_net_metrics;
+        Alcotest.test_case "reset clears uplink state" `Quick test_net_reset_metrics_full;
+        Alcotest.test_case "multicast matches per-send timing" `Quick
+          test_net_multicast_matches_sends;
+        Alcotest.test_case "jitter symmetric" `Quick test_net_jitter_symmetric;
         Alcotest.test_case "broadcast" `Quick test_net_broadcast;
       ] );
   ]
