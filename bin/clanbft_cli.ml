@@ -533,6 +533,220 @@ let analyze_cmd =
     Term.(const run $ trace_file $ json $ stall_factor)
 
 (* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd =
+  let run model protocol n rounds adversary late_join crashes exhaustive
+      delay_budget window max_actions no_dpor walks steps seed replay
+      schedule_out trace_out =
+    let module H = Check.Harness in
+    let module E = Check.Explore in
+    let module S = Check.Schedule in
+    let fail2 msg =
+      prerr_endline msg;
+      Stdlib.exit 2
+    in
+    let spec_of_flags () =
+      let model =
+        match String.lowercase_ascii model with
+        | "sailfish" -> H.Sailfish
+        | "rbc" -> (
+            match String.lowercase_ascii protocol with
+            | "bracha" -> H.Rbc Rbc.Bracha
+            | "signed" -> H.Rbc Rbc.Signed_two_round
+            | "tribe-bracha" -> H.Rbc Rbc.Tribe_bracha
+            | "tribe-signed" -> H.Rbc Rbc.Tribe_signed
+            | _ -> fail2 "protocol: bracha | signed | tribe-bracha | tribe-signed")
+        | _ -> fail2 "model: rbc | sailfish"
+      in
+      let adversary =
+        match String.lowercase_ascii adversary with
+        | "none" -> H.No_adversary
+        | "equivocate" -> H.Equivocate
+        | "collude" -> H.Collude
+        | _ -> fail2 "adversary: none | equivocate | collude"
+      in
+      { H.model; n; rounds; adversary; late_join; crashes }
+    in
+    let model_name spec = List.assoc "model" (H.spec_meta spec) in
+    let dump_trace world path =
+      match H.obs world with
+      | Some o ->
+          Trace.write_jsonl o.Obs.trace path;
+          Printf.printf "trace: %d events -> %s\n" (Trace.length o.Obs.trace) path
+      | None -> ()
+    in
+    (* Print the counterexample with resolved delivery annotations and
+       write the requested artifacts; the notes come from a deterministic
+       re-run of the schedule. *)
+    let report_schedule spec sched ~mode ~walk_seed ~invariant =
+      let r = E.run_schedule spec sched in
+      List.iter2
+        (fun a note ->
+          Printf.printf "  %-14s # %s\n" (S.action_to_string a) note)
+        r.E.executed r.E.notes;
+      (match schedule_out with
+      | Some path ->
+          let meta =
+            H.spec_meta spec
+            @ [ ("mode", mode); ("invariant", invariant) ]
+            @
+            match walk_seed with
+            | Some s -> [ ("walk_seed", Int64.to_string s) ]
+            | None -> []
+          in
+          S.save ~path ~meta ~notes:r.E.notes r.E.executed;
+          Printf.printf "schedule -> %s\n" path
+      | None -> ());
+      match trace_out with
+      | Some path ->
+          let rt = E.run_schedule ~trace:true spec sched in
+          dump_trace rt.E.world path
+      | None -> ()
+    in
+    match replay with
+    | Some path -> (
+        match S.load path with
+        | Error e -> fail2 ("bad schedule file: " ^ e)
+        | Ok (meta, sched) -> (
+            match H.spec_of_meta meta with
+            | Error e -> fail2 ("bad schedule meta: " ^ e)
+            | Ok spec -> (
+                let r = E.run_schedule ~trace:(trace_out <> None) spec sched in
+                (match r.E.error with
+                | Some e -> fail2 ("schedule does not replay: " ^ e)
+                | None -> ());
+                Printf.printf "replayed %d actions (model=%s); state: %s\n"
+                  (List.length r.E.executed) (model_name spec)
+                  (H.state_line r.E.world);
+                Option.iter (dump_trace r.E.world) trace_out;
+                match r.E.run_violation with
+                | Some v ->
+                    Printf.printf "verdict: VIOLATION invariant=%s\n  %s\n"
+                      v.H.invariant v.H.detail;
+                    exit 1
+                | None -> Printf.printf "verdict: ok\n")))
+    | None -> (
+        let spec = spec_of_flags () in
+        let mode = if exhaustive then "exhaustive" else "walk" in
+        let result =
+          if exhaustive then
+            E.exhaustive ~delay_budget ~window ~max_actions ~dpor:(not no_dpor)
+              spec
+          else E.walks ~max_actions:steps ~seed:(Int64.of_int seed) ~count:walks spec
+        in
+        let st = result.E.stats in
+        Printf.printf
+          "check: model=%s mode=%s runs=%d transitions=%d pruned=%d \
+           max-depth=%d truncated=%d\n"
+          (model_name spec) mode st.E.runs st.E.transitions st.E.pruned
+          st.E.max_depth st.E.truncated;
+        match result.E.violation with
+        | None -> Printf.printf "verdict: ok (0 violations)\n"
+        | Some v ->
+            Printf.printf "verdict: VIOLATION invariant=%s\n  %s\n"
+              v.H.invariant v.H.detail;
+            Option.iter
+              (fun s -> Printf.printf "walk seed: %Ld\n" s)
+              result.E.seed;
+            let minimized = E.minimize spec result.E.schedule in
+            Printf.printf "schedule (%d actions, minimized from %d):\n"
+              (List.length minimized)
+              (List.length result.E.schedule);
+            report_schedule spec minimized ~mode ~walk_seed:result.E.seed
+              ~invariant:v.H.invariant;
+            exit 1)
+  in
+  let model =
+    Arg.(value & opt string "rbc"
+         & info [ "model" ] ~doc:"What to check: $(b,rbc) | $(b,sailfish).")
+  in
+  let protocol =
+    Arg.(value & opt string "tribe-bracha"
+         & info [ "p"; "protocol" ]
+             ~doc:"RBC family (with $(b,--model rbc)): bracha | signed | \
+                   tribe-bracha | tribe-signed.")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Tribe size (>= 4).") in
+  let rounds =
+    Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Broadcast instances.")
+  in
+  let adversary =
+    Arg.(value & opt string "none"
+         & info [ "adversary" ]
+             ~doc:"$(b,none) | $(b,equivocate) (1 fault, must stay safe) | \
+                   $(b,collude) (2 faults vs f=1, must be caught).")
+  in
+  let late_join =
+    Arg.(value & flag
+         & info [ "late-join" ]
+             ~doc:"Hold the last node out until first quiescence; it rejoins \
+                   via request_sync (RBC models).")
+  in
+  let crashes =
+    Arg.(value & opt int 0
+         & info [ "crashes" ] ~doc:"Crash/recover scheduling-action budget.")
+  in
+  let exhaustive =
+    Arg.(value & flag
+         & info [ "exhaustive" ]
+             ~doc:"Delay-bounded exhaustive DFS instead of random walks.")
+  in
+  let delay_budget =
+    Arg.(value & opt int 2
+         & info [ "delay-budget" ] ~doc:"Deviation credits per schedule (DFS).")
+  in
+  let window =
+    Arg.(value & opt int 4
+         & info [ "window" ] ~doc:"Oldest pending deliveries considered (DFS).")
+  in
+  let max_actions =
+    Arg.(value & opt int 400 & info [ "max-actions" ] ~doc:"Depth cap per run (DFS).")
+  in
+  let no_dpor =
+    Arg.(value & flag
+         & info [ "no-dpor" ] ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let walks =
+    Arg.(value & opt int 1000 & info [ "walks" ] ~doc:"Random walks to run.")
+  in
+  let steps =
+    Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Action cap per walk.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master seed for the walks.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a schedule file written by $(b,--schedule-out) \
+                   (the spec is reconstructed from its metadata) and report \
+                   the verdict.")
+  in
+  let schedule_out =
+    Arg.(value & opt (some string) None
+         & info [ "schedule-out" ] ~docv:"FILE"
+             ~doc:"Write the minimized violating schedule for later \
+                   $(b,--replay).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the violating (or replayed) run's structured event \
+                   trace as JSONL (same schema as $(b,sim --trace)).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Explore message-delivery schedules of small protocol configs \
+             (exhaustively or randomly) and check agreement, totality and \
+             no-equivocation invariants; counterexamples are minimized and \
+             replayable (docs/CHECKING.md)")
+    Term.(
+      const run $ model $ protocol $ n $ rounds $ adversary $ late_join
+      $ crashes $ exhaustive $ delay_budget $ window $ max_actions $ no_dpor
+      $ walks $ steps $ seed $ replay $ schedule_out $ trace_out)
+
+(* ------------------------------------------------------------------ *)
 (* latency *)
 
 let latency_cmd =
@@ -554,4 +768,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "clanbft" ~version:"0.1.0" ~doc)
-          [ sim_cmd; sweep_cmd; analyze_cmd; clan_size_cmd; rbc_cmd; latency_cmd ]))
+          [
+            sim_cmd;
+            sweep_cmd;
+            analyze_cmd;
+            check_cmd;
+            clan_size_cmd;
+            rbc_cmd;
+            latency_cmd;
+          ]))

@@ -131,6 +131,95 @@ if command -v jq >/dev/null 2>&1; then
 fi
 rm -rf "$smoke_dir"
 
+echo "== check: exhaustive schedule exploration (n=4, 2 rounds, both TA-RBC families) =="
+# Bounded model checking (docs/CHECKING.md): every delivery reordering
+# within the delay budget must keep agreement/validity/no-equivocation/
+# totality. Wall cap is a hard gate — the checker regressing past it
+# means the stateless-replay fast path broke.
+smoke_dir=$(mktemp -d)
+for fam in tribe-bracha tribe-signed; do
+  if ! timeout 60 dune exec bin/clanbft_cli.exe -- check -p "$fam" -n 4 \
+    --rounds 2 --exhaustive >"$smoke_dir/$fam" 2>/dev/null; then
+    echo "exhaustive check ($fam) failed or exceeded its 60 s wall cap"
+    cat "$smoke_dir/$fam" 2>/dev/null || true
+    exit 1
+  fi
+  grep -q "verdict: ok" "$smoke_dir/$fam" || {
+    echo "exhaustive check ($fam) reported a violation"
+    cat "$smoke_dir/$fam"
+    exit 1
+  }
+  sed -n 's/^check: /  '"$fam"': /p' "$smoke_dir/$fam"
+done
+
+echo "== check: fixed-seed random walks (10k sailfish walks + equivocating RBC) =="
+# Seed 7 is the seed that caught the timeout-path no-vote/vote exclusivity
+# bug (EXPERIMENTS.md); 10k walks re-sweep it on every CI run.
+timeout 180 dune exec bin/clanbft_cli.exe -- check --model sailfish -n 4 \
+  --rounds 4 --walks 10000 --steps 300 --seed 7 >"$smoke_dir/walk_sf" 2>/dev/null || {
+  echo "sailfish walk budget failed"
+  cat "$smoke_dir/walk_sf" 2>/dev/null || true
+  exit 1
+}
+grep -q "verdict: ok" "$smoke_dir/walk_sf" || {
+  echo "sailfish walks reported a violation"
+  cat "$smoke_dir/walk_sf"
+  exit 1
+}
+timeout 60 dune exec bin/clanbft_cli.exe -- check -p tribe-signed -n 4 \
+  --rounds 1 --adversary equivocate --exhaustive >"$smoke_dir/equiv" 2>/dev/null || {
+  echo "equivocating-sender check failed"
+  exit 1
+}
+grep -q "verdict: ok" "$smoke_dir/equiv" || {
+  echo "single equivocating sender (within f=1) broke safety"
+  cat "$smoke_dir/equiv"
+  exit 1
+}
+
+echo "== check self-test: injected collusion must be caught and replay byte-identically =="
+# Two byzantine voters against f=1 are outside the fault model: the
+# checker must find the agreement violation (exit 1), minimize it, and
+# the written schedule must replay to a byte-identical trace twice.
+set +e
+timeout 60 dune exec bin/clanbft_cli.exe -- check -p tribe-bracha -n 4 \
+  --rounds 1 --adversary collude --exhaustive \
+  --schedule-out "$smoke_dir/collude.sched" >"$smoke_dir/collude" 2>/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+  echo "collusion self-test: expected exit 1 (violation), got $rc"
+  cat "$smoke_dir/collude" 2>/dev/null || true
+  exit 1
+fi
+grep -q "verdict: VIOLATION invariant=agreement" "$smoke_dir/collude" || {
+  echo "collusion self-test: agreement violation not reported"
+  cat "$smoke_dir/collude"
+  exit 1
+}
+test -s "$smoke_dir/collude.sched" || {
+  echo "collusion self-test: no schedule written"
+  exit 1
+}
+for i in 1 2; do
+  set +e
+  dune exec bin/clanbft_cli.exe -- check --replay "$smoke_dir/collude.sched" \
+    --trace-out "$smoke_dir/replay$i.jsonl" >"$smoke_dir/replay$i" 2>/dev/null
+  rc=$?
+  set -e
+  if [ "$rc" -ne 1 ]; then
+    echo "collusion replay $i: expected exit 1, got $rc"
+    cat "$smoke_dir/replay$i" 2>/dev/null || true
+    exit 1
+  fi
+done
+if ! cmp -s "$smoke_dir/replay1.jsonl" "$smoke_dir/replay2.jsonl"; then
+  echo "collusion replays produced different traces"
+  exit 1
+fi
+echo "collusion caught, minimized schedule replays byte-identically"
+rm -rf "$smoke_dir"
+
 echo "== parallel bench smoke (perf section, CLANBFT_JOBS=2) =="
 smoke_dir=$(mktemp -d)
 (cd "$smoke_dir" \

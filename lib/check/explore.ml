@@ -1,0 +1,315 @@
+open Clanbft_sim
+module Rng = Clanbft_util.Rng
+
+type stats = {
+  mutable runs : int;
+  mutable transitions : int;
+  mutable pruned : int;
+  mutable max_depth : int;
+  mutable truncated : int;
+}
+
+type result = {
+  violation : Harness.violation option;
+  schedule : Schedule.t;
+  seed : int64 option;
+  stats : stats;
+}
+
+let new_stats () =
+  { runs = 0; transitions = 0; pruned = 0; max_depth = 0; truncated = 0 }
+
+(* A scheduling option: the action, its delay-bound cost, and the node it
+   concerns (-1 for timers) — the dependence footprint for sleep sets. *)
+type opt = { action : Schedule.action; cost : int; dst : int }
+
+let sorted_deliveries w =
+  List.sort
+    (fun (a : Engine.choice) (b : Engine.choice) ->
+      compare (a.time, a.id) (b.time, b.id))
+    (Harness.enabled_deliveries w)
+
+(* Crash targets: live honest nodes (pausing an already-paused or Byzantine
+   node is rejected by the harness anyway). *)
+let crash_targets w =
+  let s = Harness.spec w in
+  List.filter
+    (fun i -> not (List.mem i (Harness.byzantine w) || Harness.crashed w i))
+    (List.init s.Harness.n Fun.id)
+
+let options w ~window =
+  let ds = sorted_deliveries w in
+  let have_deliveries = ds <> [] in
+  let busy = have_deliveries || Harness.calendar_pending w in
+  let del =
+    List.filteri (fun k _ -> k < window) ds
+    |> List.mapi (fun k (c : Engine.choice) ->
+           { action = Schedule.Deliver c.id; cost = k; dst = c.dst })
+  in
+  let step =
+    if Harness.calendar_pending w then
+      [ { action = Schedule.Step; cost = (if have_deliveries then 1 else 0); dst = -1 } ]
+    else []
+  in
+  let crashes =
+    if busy && Harness.crashes_left w > 0 then
+      List.map
+        (fun i -> { action = Schedule.Crash i; cost = 1; dst = i })
+        (crash_targets w)
+    else []
+  in
+  let recovers =
+    List.map
+      (fun i -> { action = Schedule.Recover i; cost = 1; dst = i })
+      (Harness.crash_paused w)
+  in
+  del @ step @ crashes @ recovers
+
+(* No applicable option at all: quiescent with nothing left to recover.
+   (Crash options are gated on [busy], so an idle world with spare crash
+   budget still counts as finished.) *)
+let finished w =
+  Harness.quiescent w && Harness.crash_paused w = []
+
+let rec settle w = if finished w && Harness.on_quiescence w then settle w
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type run = {
+  world : Harness.world;
+  executed : Schedule.t;
+  notes : string list;
+  run_violation : Harness.violation option;
+  error : string option;
+  truncated : bool;
+}
+
+let canonical_action w =
+  match sorted_deliveries w with
+  | (c : Engine.choice) :: _ -> Some (Schedule.Deliver c.id)
+  | [] ->
+      if Harness.calendar_pending w then Some Schedule.Step
+      else (
+        match Harness.crash_paused w with
+        | i :: _ -> Some (Schedule.Recover i)
+        | [] -> None)
+
+let run_schedule ?(trace = false) ?(complete = true) ?(max_actions = 2000) spec
+    sched =
+  let w = Harness.build ~trace spec in
+  let executed = ref [] and notes = ref [] and count = ref 0 in
+  let error = ref None and truncated = ref false in
+  let ok () = Harness.violation w = None && !error = None && not !truncated in
+  let exec a =
+    settle w;
+    if !count >= max_actions then truncated := true
+    else begin
+      let note = Harness.describe w a in
+      match Harness.apply w a with
+      | Ok () ->
+          executed := a :: !executed;
+          notes := note :: !notes;
+          incr count
+      | Error e -> error := Some e
+    end
+  in
+  List.iter (fun a -> if ok () then exec a) sched;
+  if complete then begin
+    let continue = ref (ok ()) in
+    while !continue do
+      settle w;
+      match canonical_action w with
+      | Some a ->
+          exec a;
+          continue := ok ()
+      | None -> continue := false
+    done
+  end;
+  let run_violation =
+    match Harness.violation w with
+    | Some v -> Some v
+    | None ->
+        if !error = None && not !truncated && complete && finished w then
+          Harness.wrapup w
+        else None
+  in
+  {
+    world = w;
+    executed = List.rev !executed;
+    notes = List.rev !notes;
+    run_violation;
+    error = !error;
+    truncated = !truncated;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive delay-bounded DFS with sleep sets *)
+
+(* Sleep entries carry the dependence footprint; only deliveries to
+   distinct destinations commute. *)
+let independent (slept : opt) (chosen : opt) =
+  match (slept.action, chosen.action) with
+  | Schedule.Deliver _, Schedule.Deliver _ -> slept.dst <> chosen.dst
+  | _ -> false
+
+let same_action a b =
+  match (a.action, b.action) with
+  | Schedule.Deliver i, Schedule.Deliver j -> i = j
+  | Schedule.Step, Schedule.Step -> true
+  | Schedule.Crash i, Schedule.Crash j -> i = j
+  | Schedule.Recover i, Schedule.Recover j -> i = j
+  | _ -> false
+
+let exhaustive ?(delay_budget = 2) ?(window = 4) ?(max_actions = 400)
+    ?(dpor = true) spec =
+  let stats = new_stats () in
+  let found = ref None in
+  (* Rebuild a world positioned after [prefix] (stateless backtracking). *)
+  let rebuild prefix =
+    let w = Harness.build spec in
+    List.iter
+      (fun a ->
+        settle w;
+        match Harness.apply w a with
+        | Ok () -> ()
+        | Error e ->
+            invalid_arg ("Explore.exhaustive: replay divergence: " ^ e))
+      prefix;
+    w
+  in
+  (* [prefix] is reversed; [w] has it applied. *)
+  let rec dfs w rprefix depth cost sleep =
+    if !found = None then begin
+      if depth > stats.max_depth then stats.max_depth <- depth;
+      match Harness.violation w with
+      | Some v ->
+          stats.runs <- stats.runs + 1;
+          found := Some (v, List.rev rprefix)
+      | None -> (
+          let opts = options w ~window in
+          if opts = [] then
+            if Harness.on_quiescence w then dfs w rprefix depth cost sleep
+            else begin
+              stats.runs <- stats.runs + 1;
+              match Harness.wrapup w with
+              | Some v -> found := Some (v, List.rev rprefix)
+              | None -> ()
+            end
+          else if depth >= max_actions then begin
+            stats.runs <- stats.runs + 1;
+            stats.truncated <- stats.truncated + 1
+          end
+          else begin
+            let slept = ref sleep in
+            List.iter
+              (fun o ->
+                if !found = None then
+                  if List.exists (fun s -> same_action s o) !slept then
+                    stats.pruned <- stats.pruned + 1
+                  else if cost + o.cost > delay_budget then
+                    stats.pruned <- stats.pruned + 1
+                  else begin
+                    stats.transitions <- stats.transitions + 1;
+                    let rprefix' = o.action :: rprefix in
+                    let w' = rebuild (List.rev rprefix') in
+                    let child_sleep =
+                      List.filter (fun s -> independent s o) !slept
+                    in
+                    dfs w' rprefix' (depth + 1) (cost + o.cost) child_sleep;
+                    if dpor then slept := o :: !slept
+                  end)
+              opts
+          end)
+    end
+  in
+  dfs (Harness.build spec) [] 0 0 [];
+  match !found with
+  | Some (v, sched) ->
+      { violation = Some v; schedule = sched; seed = None; stats }
+  | None -> { violation = None; schedule = []; seed = None; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Random walks *)
+
+let walks ?(max_actions = 400) ~seed ~count spec =
+  let stats = new_stats () in
+  let master = Rng.create seed in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < count do
+    incr i;
+    let walk_seed = Rng.next_int64 master in
+    let rng = Rng.create walk_seed in
+    let w = Harness.build spec in
+    let rprefix = ref [] in
+    let depth = ref 0 in
+    let running = ref true in
+    while !running do
+      match Harness.violation w with
+      | Some v ->
+          found := Some (v, List.rev !rprefix, walk_seed);
+          running := false
+      | None -> (
+          let opts = options w ~window:max_int in
+          if opts = [] then begin
+            if not (Harness.on_quiescence w) then begin
+              (match Harness.wrapup w with
+              | Some v -> found := Some (v, List.rev !rprefix, walk_seed)
+              | None -> ());
+              running := false
+            end
+          end
+          else if !depth >= max_actions then begin
+            stats.truncated <- stats.truncated + 1;
+            running := false
+          end
+          else begin
+            let o = List.nth opts (Rng.int rng (List.length opts)) in
+            (match Harness.apply w o.action with
+            | Ok () -> ()
+            | Error e -> invalid_arg ("Explore.walks: bad option: " ^ e));
+            rprefix := o.action :: !rprefix;
+            incr depth;
+            stats.transitions <- stats.transitions + 1
+          end)
+    done;
+    stats.runs <- stats.runs + 1;
+    if !depth > stats.max_depth then stats.max_depth <- !depth
+  done;
+  match !found with
+  | Some (v, sched, ws) ->
+      { violation = Some v; schedule = sched; seed = Some ws; stats }
+  | None -> { violation = None; schedule = []; seed = None; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Minimization *)
+
+let minimize spec sched =
+  let base = run_schedule spec sched in
+  match base.run_violation with
+  | None -> sched
+  | Some v0 ->
+      let target = v0.invariant in
+      (* Work from the executed sequence: it is truncated at the violation
+         and includes any canonical completion, so it stands alone. *)
+      let current = ref base.executed in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        let len = List.length !current in
+        let i = ref 0 in
+        while (not !improved) && !i < len do
+          let cand = List.filteri (fun j _ -> j <> !i) !current in
+          let r = run_schedule spec cand in
+          (match r.run_violation with
+          | Some v
+            when v.invariant = target
+                 && List.length r.executed < List.length !current ->
+              current := r.executed;
+              improved := true
+          | _ -> ());
+          incr i
+        done
+      done;
+      !current

@@ -1,0 +1,110 @@
+(** Schedule exploration: exhaustive delay-bounded DFS, random walks,
+    replay and counterexample minimization over {!Harness} worlds.
+
+    The state space is the tree of {!Schedule.action} sequences from a
+    world's initial state. Exploration is {e stateless}: there are no
+    world snapshots — visiting a sibling branch rebuilds the world from
+    scratch and replays the action prefix, which is cheap at checker
+    scale (n = 4, a few rounds) and keeps the harness free of
+    copy/restore obligations. Determinism of {!Harness.build} makes the
+    replays exact.
+
+    {2 Bounding}
+
+    Full reordering of even one RBC instance's ~36 deliveries is far out
+    of reach, so the DFS is {e delay-bounded} (after Emmi et al.): the
+    canonical schedule always fires the oldest pending delivery (then
+    timers); picking the k-th-oldest instead costs [k] deviation
+    credits, running a timer ahead of pending deliveries costs 1, and a
+    crash or recovery costs 1. A path's total cost is capped by
+    [delay_budget], and only the [window] oldest deliveries are
+    considered at each point. Budget 0 explores exactly the canonical
+    run; as the budget grows the exploration converges to full DFS.
+    Depth is additionally capped by [max_actions] (runs cut there are
+    counted, not silently dropped).
+
+    {2 Pruning}
+
+    Sleep-set partial-order reduction: two deliveries to {e different}
+    nodes commute (handlers touch only node-local state and their sends
+    are themselves reordered freely later), so after exploring the
+    subtree of delivery [a], sibling subtrees need not re-interleave [a]
+    ahead of deliveries to other destinations. Timers and
+    crash/recovery actions are conservatively treated as dependent on
+    everything. With an unbounded budget this pruning is sound (it skips
+    only executions equivalent to explored ones); under a finite budget
+    it remains a heuristic exactly as the budget itself is — see
+    docs/CHECKING.md for the honest statement. [~dpor:false] disables
+    it. *)
+
+type stats = {
+  mutable runs : int;  (** complete executions (violating, quiescent or truncated) *)
+  mutable transitions : int;  (** scheduling decisions explored *)
+  mutable pruned : int;  (** children skipped by sleep sets or the delay budget *)
+  mutable max_depth : int;  (** longest action sequence reached *)
+  mutable truncated : int;  (** runs cut by [max_actions] *)
+}
+
+type result = {
+  violation : Harness.violation option;
+  schedule : Schedule.t;
+      (** the full action sequence of the violating run; [[]] if none *)
+  seed : int64 option;
+      (** for a violating random walk: the per-walk seed it was driven by *)
+  stats : stats;
+}
+
+val exhaustive :
+  ?delay_budget:int ->
+  ?window:int ->
+  ?max_actions:int ->
+  ?dpor:bool ->
+  Harness.spec ->
+  result
+(** Depth-first search over all schedules within the delay budget
+    (default 2), window (default 4) and depth cap (default 400),
+    stopping at the first violation. *)
+
+val walks :
+  ?max_actions:int -> seed:int64 -> count:int -> Harness.spec -> result
+(** [count] uniform random walks to quiescence (or the depth cap,
+    default 400). Each walk runs under its own generator whose seed is
+    derived from [seed] and reported on violation, and every decision is
+    recorded as a {!Schedule.t} — so replaying a reported walk needs no
+    randomness at all ({!run_schedule}). *)
+
+(** {1 Replay} *)
+
+type run = {
+  world : Harness.world;  (** the final world, for state inspection *)
+  executed : Schedule.t;  (** actions actually applied, including completion *)
+  notes : string list;  (** one human-readable annotation per executed action *)
+  run_violation : Harness.violation option;
+  error : string option;
+      (** schedule corruption: an action that was not applicable *)
+  truncated : bool;  (** hit [max_actions] before finishing *)
+}
+
+val run_schedule :
+  ?trace:bool ->
+  ?complete:bool ->
+  ?max_actions:int ->
+  Harness.spec ->
+  Schedule.t ->
+  run
+(** Rebuild the world and apply the schedule verbatim, firing the
+    quiescence hook whenever no action is applicable (so harness-injected
+    work such as the late-join replays deterministically), stopping early
+    at the first violation. With [complete] (the default), the run is
+    then driven to quiescence canonically — oldest delivery first, then
+    timers, then recoveries — and the wrap-up invariants evaluated; this
+    is what makes a truncated schedule a meaningful counterexample
+    candidate rather than a message-loss scenario. [trace] records the
+    structured event trace, retrievable via {!Harness.obs}. *)
+
+val minimize : Harness.spec -> Schedule.t -> Schedule.t
+(** Greedy counterexample minimization: repeatedly drop single actions,
+    re-running each candidate under canonical completion, and keep a
+    candidate only if the {e same} invariant violates again with a
+    strictly shorter executed sequence. Returns the input unchanged if it
+    does not violate in the first place. *)

@@ -1,0 +1,90 @@
+type action = Deliver of int | Step | Crash of int | Recover of int
+type t = action list
+
+let action_to_string = function
+  | Deliver id -> Printf.sprintf "deliver %d" id
+  | Step -> "step"
+  | Crash i -> Printf.sprintf "crash %d" i
+  | Recover i -> Printf.sprintf "recover %d" i
+
+let action_of_string s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [ "step" ] -> Ok Step
+  | [ "deliver"; id ] -> (
+      match int_of_string_opt id with
+      | Some id -> Ok (Deliver id)
+      | None -> Error ("bad deliver id: " ^ id))
+  | [ "crash"; i ] -> (
+      match int_of_string_opt i with
+      | Some i -> Ok (Crash i)
+      | None -> Error ("bad crash node: " ^ i))
+  | [ "recover"; i ] -> (
+      match int_of_string_opt i with
+      | Some i -> Ok (Recover i)
+      | None -> Error ("bad recover node: " ^ i))
+  | _ -> Error ("unrecognised action: " ^ String.trim s)
+
+let header = "# clanbft/check-schedule/v1"
+
+let save ~path ~meta ?notes actions =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header ^ "\n");
+      List.iter
+        (fun (k, v) ->
+          if String.contains k ' ' || String.contains k '=' then
+            invalid_arg "Schedule.save: meta key contains whitespace or '='";
+          Printf.fprintf oc "meta %s=%s\n" k v)
+        meta;
+      let notes =
+        match notes with
+        | Some ns when List.length ns = List.length actions -> ns
+        | Some _ -> invalid_arg "Schedule.save: notes do not align with actions"
+        | None -> List.map (fun _ -> "") actions
+      in
+      List.iter2
+        (fun a note ->
+          if note = "" then Printf.fprintf oc "%s\n" (action_to_string a)
+          else Printf.fprintf oc "%-14s # %s\n" (action_to_string a) note)
+        actions notes)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let meta = ref [] and actions = ref [] and err = ref None in
+      (try
+         while !err = None do
+           let raw = input_line ic in
+           let line = String.trim (strip_comment raw) in
+           if line = "" then ()
+           else if String.length line >= 5 && String.sub line 0 5 = "meta " then begin
+             let kv = String.sub line 5 (String.length line - 5) in
+             match String.index_opt kv '=' with
+             | None -> err := Some ("meta line without '=': " ^ raw)
+             | Some i ->
+                 meta :=
+                   ( String.sub kv 0 i,
+                     String.sub kv (i + 1) (String.length kv - i - 1) )
+                   :: !meta
+           end
+           else
+             match action_of_string line with
+             | Ok a -> actions := a :: !actions
+             | Error e -> err := Some e
+         done
+       with End_of_file -> ());
+      match !err with
+      | Some e -> Error e
+      | None -> Ok (List.rev !meta, List.rev !actions))
+
+let pp ppf t =
+  List.iter (fun a -> Format.fprintf ppf "%s@." (action_to_string a)) t

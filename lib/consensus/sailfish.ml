@@ -120,6 +120,7 @@ type t = {
   mutable last_committed : int;
   ordered : (int * int, unit) Hashtbl.t;
   mutable ordered_total : int;
+  mutable ordered_hash : int; (* chained fingerprint of the total order *)
   (* weak-edge bookkeeping *)
   covered : (int * int, unit) Hashtbl.t; (* causal history of my proposals *)
   uncovered : (int * int, Vertex.t) Hashtbl.t;
@@ -129,6 +130,14 @@ let me t = t.me
 let current_round t = t.round
 let last_committed_round t = t.last_committed
 let committed_count t = t.ordered_total
+let ordered_hash t = t.ordered_hash
+
+(* FNV-1a-style chaining, same mix the bench fingerprints use: cheap, and
+   any divergence in commit order or content changes every later value. *)
+let mix_commit h ~round ~source =
+  let h = h lxor ((round * 1_000_003) + source) in
+  let h = h * 0x100000001b3 in
+  h land max_int
 let dag_size t = Store.size t.store
 let quorum t = Config.quorum t.config
 let leader_of t round = Config.leader_of_round t.config round
@@ -829,6 +838,8 @@ and try_commit t =
           List.iter
             (fun (v : Vertex.t) ->
               Hashtbl.replace t.ordered (v.round, v.source) ();
+              t.ordered_hash <-
+                mix_commit t.ordered_hash ~round:v.round ~source:v.source;
               if Trace.enabled t.obsh.o_trace then
                 Trace.emit t.obsh.o_trace ~ts:(Engine.now t.engine)
                   (Trace.Vertex_commit
@@ -1000,6 +1011,17 @@ and propose t r =
          (fun (e : Vertex.vref) -> e.source = leader_of t (r - 1))
          strong_edges
   in
+  (* Proposing without the leader edge IS the decision not to vote for
+     the previous leader: this is the only point where the no-vote share
+     may be sent (see [on_round_timeout]). *)
+  if r > 0 && (not prev_leader_edge) && t.me <> leader_of t r then begin
+    let nv =
+      Keychain.sign t.keychain ~signer:t.me
+        (Cert.signing_string Cert.No_vote (r - 1))
+    in
+    Net.send t.net ~src:t.me ~dst:(leader_of t r)
+      (Msg.No_vote_share { round = r - 1; signer = t.me; signature = nv })
+  end;
   let nvc =
     if r > 0 && t.me = leader_of t r && not prev_leader_edge then
       Hashtbl.find_opt t.nvcs (r - 1)
@@ -1053,13 +1075,25 @@ and on_round_timeout t r =
     in
     Net.broadcast t.net ~src:t.me
       (Msg.Timeout_share { round = r; signer = t.me; signature });
-    (* If this round's leader never showed, tell the next leader we are not
-       voting for it. *)
-    if not (Store.mem t.store ~round:r ~source:(leader_of t r)) then begin
+    (* A no-vote for round r is a promise not to vote for its leader, and
+       the vote is the strong edge in our round r+1 vertex — so the
+       promise can only be made where the vote decision is made, in
+       [propose]. Sending it here and then voting anyway once the
+       leader's late vertex arrived handed 2f+1 votes AND a no-vote
+       certificate to disjoint observers, splitting the commit order (a
+       schedule-checker find — EXPERIMENTS.md). The one exception is the
+       next leader's own share: it never leaves the node (the aggregate
+       is embedded only if it does propose leaderlessly), so minting it
+       early is safe and keeps the no-vote quorum reachable when the
+       round-r leader is down. *)
+    if
+      t.me = leader_of t (r + 1)
+      && not (Store.mem t.store ~round:r ~source:(leader_of t r))
+    then begin
       let nv =
         Keychain.sign t.keychain ~signer:t.me (Cert.signing_string Cert.No_vote r)
       in
-      Net.send t.net ~src:t.me ~dst:(leader_of t (r + 1))
+      Net.send t.net ~src:t.me ~dst:t.me
         (Msg.No_vote_share { round = r; signer = t.me; signature = nv })
     end
   end
@@ -1230,6 +1264,7 @@ let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
       last_committed = -1;
       ordered = Hashtbl.create 1024;
       ordered_total = 0;
+      ordered_hash = 0;
       covered = Hashtbl.create 1024;
       uncovered = Hashtbl.create 64;
     }

@@ -78,6 +78,14 @@ module Sailfish = Clanbft_consensus.Sailfish
 module Latency_model = Clanbft_consensus.Latency_model
 module Poa_smr = Clanbft_consensus.Poa_smr
 
+(** {1 Schedule-exploration checker (model checking in the small)} *)
+
+module Check = struct
+  module Schedule = Clanbft_check.Schedule
+  module Harness = Clanbft_check.Harness
+  module Explore = Clanbft_check.Explore
+end
+
 (** {1 State machine replication} *)
 
 module Mempool = Clanbft_smr.Mempool

@@ -530,3 +530,13 @@ let delivered t ~sender ~round =
   match Hashtbl.find_opt t.instances (sender, round) with
   | None -> None
   | Some inst -> inst.delivered
+
+let agreed t ~sender ~round =
+  match Hashtbl.find_opt t.instances (sender, round) with
+  | None -> None
+  | Some inst -> inst.agreed
+
+let pulling t ~sender ~round =
+  match Hashtbl.find_opt t.instances (sender, round) with
+  | None -> false
+  | Some inst -> inst.pulling && inst.delivered = None

@@ -130,3 +130,23 @@ val request_sync : node -> sender:int -> round:int -> unit
     pull path. *)
 
 val delivered : node -> sender:int -> round:int -> outcome option
+
+(** {1 Invariant-observation hooks}
+
+    Read-only views of per-instance state for external checkers (the
+    [lib/check] schedule explorer asserts agreement / totality /
+    no-equivocation over them; see docs/CHECKING.md). They never mutate
+    the instance table beyond what {!delivered} already does. *)
+
+val agreed : node -> sender:int -> round:int -> Digest32.t option
+(** The digest this node's quorum settled on, once certified — present
+    from the moment of certification, i.e. possibly before the payload
+    arrives and {!delivered} turns [Some]. *)
+
+val pulling : node -> sender:int -> round:int -> bool
+(** True while this node has certified a digest it lacks the payload for
+    and its pull loop is still live. A quiescent world with a node stuck
+    in ([agreed = Some _], [delivered = None], [pulling = false]) has hit
+    a pull-path liveness bug — exactly the shape of the (since fixed)
+    PR 1 READY-path defect the checker re-finds when that fix is
+    reverted (EXPERIMENTS.md). *)

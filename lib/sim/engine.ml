@@ -15,7 +15,6 @@ let horizon = 1 lsl ring_bits
    (the 1.5 s round timeout), so only one-off far-future events take the
    overflow path, while the ring array stays small enough that major-GC
    marking of its 2M pointer slots is cheap. *)
-let mask = horizon - 1
 
 (* An event is either a plain thunk or a shared callback applied to an
    integer. [Ix] exists for fan-out: a broadcast delivering to n recipients
@@ -30,8 +29,6 @@ type event = Fn of (unit -> unit) | Ix of (int -> unit) * int
    ~20 array loads per advance into one or two. *)
 let summary_shift = 5
 
-let summary_words = horizon lsr summary_shift
-let summary_mask = summary_words - 1
 let word_mask = 0xFFFFFFFF
 
 (* Trailing-zero count of a non-zero 32-bit value: byte probe + table.
@@ -53,6 +50,14 @@ let ctz x =
   else if x land 0xFF0000 <> 0 then 16 + ctz8.((x lsr 16) land 0xFF)
   else 24 + ctz8.((x lsr 24) land 0xFF)
 
+(* A delivery-choice point (model-checking hook): when choice mode is on,
+   events scheduled through [schedule_choice_at]/[schedule_choice_ix_at]
+   are parked in a pool instead of the calendar, and an external scheduler
+   (lib/check) decides which one runs next via [fire_choice]. With choice
+   mode off — the default — those entry points are exact aliases of the
+   calendar ones, so the ordinary simulation path is bit-identical. *)
+type choice = { id : int; time : Time.t; src : int; dst : int; tag : string }
+
 type t = {
   ring : event list array;
   summary : int array; (* bit (i mod 32) of word (i / 32) ⇔ ring.(i) <> [] *)
@@ -62,20 +67,35 @@ type t = {
   mutable clock : Time.t;
   mutable pending : int;
   mutable processed : int;
+  mutable choice_mode : bool;
+  mutable next_choice_id : int;
+  pool : (int, choice * event) Hashtbl.t; (* pending delivery choices *)
 }
 
 let nothing = Fn (fun () -> ())
 
-let create () =
+(* [ring_bits] sizes this engine's calendar ring (default: the module
+   [horizon]). Small deployments that are rebuilt thousands of times — the
+   lib/check schedule explorer re-executes a fresh world per branch — use a
+   small ring so [create] does not allocate 2M bucket slots per world;
+   events past the (smaller) horizon simply take the overflow-heap path,
+   which is semantically identical. *)
+let create ?(ring_bits = ring_bits) () =
+  if ring_bits < summary_shift || ring_bits > 26 then
+    invalid_arg "Engine.create: ring_bits out of range";
+  let horizon = 1 lsl ring_bits in
   {
     ring = Array.make horizon [];
-    summary = Array.make summary_words 0;
+    summary = Array.make (horizon lsr summary_shift) 0;
     overflow = Heap.create ~capacity:64 ~dummy:nothing ();
     now_queue = Queue.create ();
     drain = [];
     clock = 0;
     pending = 0;
     processed = 0;
+    choice_mode = false;
+    next_choice_id = 0;
+    pool = Hashtbl.create 64;
   }
 
 let now t = t.clock
@@ -89,7 +109,8 @@ let enqueue t time ev =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   t.pending <- t.pending + 1;
   if time = t.clock then Queue.add ev t.now_queue
-  else if time - t.clock < horizon then ring_insert t (time land mask) ev
+  else if time - t.clock < Array.length t.ring then
+    ring_insert t (time land (Array.length t.ring - 1)) ev
   else Heap.push t.overflow time ev
 
 let schedule_at t time fn = enqueue t time (Fn fn)
@@ -99,13 +120,50 @@ let schedule_after t span fn =
   if span < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (t.clock + span) fn
 
+(* ---- delivery-choice points ---- *)
+
+let set_choice_mode t on = t.choice_mode <- on
+let choice_mode t = t.choice_mode
+
+let pool_add t time ~src ~dst ~tag ev =
+  let id = t.next_choice_id in
+  t.next_choice_id <- id + 1;
+  Hashtbl.replace t.pool id ({ id; time; src; dst; tag }, ev)
+
+let schedule_choice_at t time ~src ~dst ~tag fn =
+  if t.choice_mode then pool_add t time ~src ~dst ~tag (Fn fn)
+  else enqueue t time (Fn fn)
+
+let schedule_choice_ix_at t time ~src ~dst ~tag fn arg =
+  if t.choice_mode then pool_add t time ~src ~dst ~tag (Ix (fn, arg))
+  else enqueue t time (Ix (fn, arg))
+
+let choices t =
+  let cs = Hashtbl.fold (fun _ (c, _) acc -> c :: acc) t.pool [] in
+  List.sort (fun a b -> compare a.id b.id) cs
+
+let choice_count t = Hashtbl.length t.pool
+
+let fire_choice t id =
+  match Hashtbl.find_opt t.pool id with
+  | None -> invalid_arg "Engine.fire_choice: unknown or already-fired choice"
+  | Some (_, ev) ->
+      Hashtbl.remove t.pool id;
+      t.processed <- t.processed + 1;
+      (match ev with Fn fn -> fn () | Ix (fn, arg) -> fn arg)
+
+let drop_choice t id =
+  if not (Hashtbl.mem t.pool id) then
+    invalid_arg "Engine.drop_choice: unknown or already-fired choice";
+  Hashtbl.remove t.pool id
+
 (* Move overflow events that now fit in the ring. *)
 let migrate t =
   let rec go () =
     match Heap.peek_priority t.overflow with
-    | Some time when time - t.clock < horizon ->
+    | Some time when time - t.clock < Array.length t.ring ->
         (match Heap.pop t.overflow with
-        | Some (time, ev) -> ring_insert t (time land mask) ev
+        | Some (time, ev) -> ring_insert t (time land (Array.length t.ring - 1)) ev
         | None -> ());
         go ()
     | Some _ | None -> ()
@@ -123,18 +181,18 @@ let migrate t =
    allocate. *)
 let[@inline] bucket_time t ~start w bits =
   let idx = (w lsl summary_shift) lor ctz bits in
-  t.clock + 1 + ((idx - start) land mask)
+  t.clock + 1 + ((idx - start) land (Array.length t.ring - 1))
 
 let scan_ring t =
-  let start = (t.clock + 1) land mask in
+  let start = (t.clock + 1) land (Array.length t.ring - 1) in
   let w0 = start lsr summary_shift and b0 = start land 31 in
   let bits0 = t.summary.(w0) land (word_mask lsl b0) land word_mask in
   if bits0 <> 0 then bucket_time t ~start w0 bits0
   else begin
     let res = ref max_int in
     let i = ref 1 in
-    while !res = max_int && !i < summary_words do
-      let w = (w0 + !i) land summary_mask in
+    while !res = max_int && !i < Array.length t.summary do
+      let w = (w0 + !i) land (Array.length t.summary - 1) in
       let bits = t.summary.(w) in
       if bits <> 0 then res := bucket_time t ~start w bits;
       incr i
@@ -163,7 +221,7 @@ let next_event_time t =
       match Heap.peek_priority t.overflow with
       | None -> None (* inconsistent pending count; defensive *)
       | Some time ->
-          t.clock <- time - horizon + 1;
+          t.clock <- time - Array.length t.ring + 1;
           migrate t;
           let time = scan_ring t in
           if time <> max_int then Some time else None
@@ -184,7 +242,7 @@ let step t =
           | None -> None
           | Some time ->
               t.clock <- time;
-              let idx = time land mask in
+              let idx = time land (Array.length t.ring - 1) in
               (match List.rev t.ring.(idx) with
               | ev :: rest ->
                   t.ring.(idx) <- [];

@@ -13,7 +13,13 @@ val horizon : Time.span
     heap and migrates in as the clock approaches. Exposed so boundary
     tests track the constant. *)
 
-val create : unit -> t
+val create : ?ring_bits:int -> unit -> t
+(** [ring_bits] sizes the calendar ring ([2^ring_bits] µs, default the
+    module-level {!horizon}); events beyond it take the overflow-heap path,
+    so the choice is performance-only. Small rings make [create] cheap —
+    the [lib/check] explorer rebuilds thousands of n = 4 worlds per search
+    and must not pay a 2M-slot allocation each time. Raises
+    [Invalid_argument] outside [5..26]. *)
 
 val now : t -> Time.t
 
@@ -30,6 +36,63 @@ val schedule_ix_at : t -> Time.t -> (int -> unit) -> int -> unit
     Raises [Invalid_argument] if the time is in the past. *)
 
 val schedule_after : t -> Time.span -> (unit -> unit) -> unit
+
+(** {1 Delivery-choice points}
+
+    Hooks for schedule exploration (see [lib/check] and docs/CHECKING.md):
+    an event scheduled through a {e choice point} normally behaves exactly
+    like a calendar event, but when {!set_choice_mode} is on it is parked
+    in a labelled pool instead, and an external scheduler decides which
+    pooled event runs next — turning the engine's fixed calendar order
+    into a pluggable delivery order. The default path is untouched: with
+    choice mode off (the initial state), {!schedule_choice_at} and
+    {!schedule_choice_ix_at} are exact aliases of {!schedule_at} and
+    {!schedule_ix_at}, so ordinary runs stay bit-identical. *)
+
+type choice = {
+  id : int;  (** creation-order identity, stable across identical replays *)
+  time : Time.t;  (** when the calendar would have run the event *)
+  src : int;  (** sending node (or [-1] when not a message delivery) *)
+  dst : int;  (** receiving node *)
+  tag : string;  (** message kind, for human-readable schedules *)
+}
+(** A pooled event awaiting an external scheduling decision. [id]s are
+    assigned in scheduling order by a per-engine counter, so two replays
+    of the same decision prefix observe identical ids — the property that
+    makes recorded schedules replayable. *)
+
+val set_choice_mode : t -> bool -> unit
+(** Turn choice mode on or off. Flip it before any traffic is scheduled:
+    already-pooled (or already-enqueued) events are not migrated. *)
+
+val choice_mode : t -> bool
+
+val schedule_choice_at :
+  t -> Time.t -> src:int -> dst:int -> tag:string -> (unit -> unit) -> unit
+(** Like {!schedule_at} when choice mode is off (identical event cell,
+    identical ordering); pools the event when it is on. The labels are
+    metadata for the external scheduler and appear in {!choices}. *)
+
+val schedule_choice_ix_at :
+  t -> Time.t -> src:int -> dst:int -> tag:string -> (int -> unit) -> int -> unit
+(** Shared-closure variant, mirroring {!schedule_ix_at}. *)
+
+val choices : t -> choice list
+(** Pending pooled events, in ascending [id] (i.e. creation) order.
+    Empty when choice mode is off. *)
+
+val choice_count : t -> int
+
+val fire_choice : t -> int -> unit
+(** Run the pooled event with this [id] now, at the current clock (the
+    clock does not advance — in choice mode simulated time is driven
+    solely by calendar events via {!step}). Raises [Invalid_argument] for
+    an unknown or already-fired id. *)
+
+val drop_choice : t -> int -> unit
+(** Discard a pooled event without running it (models message loss, e.g.
+    a crashed node's queued deliveries). Raises [Invalid_argument] for an
+    unknown id. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Process events in time order until the queue empties, the clock passes

@@ -134,9 +134,12 @@ let jitter_draw config ~rng ~base =
     int_of_float (Float.round (float_of_int base *. config.jitter *. u))
 
 (* [bytes]/[kind] are computed once in [send] and threaded through so the
-   receive path never re-serializes the message. *)
+   receive path never re-serializes the message. Every delivery is
+   scheduled through an engine choice point: in ordinary runs that is an
+   exact alias of [schedule_at], while under lib/check's choice mode the
+   delivery order becomes an external scheduling decision. *)
 let deliver t ~src ~dst ~bytes ~kind msg arrival =
-  Engine.schedule_at t.engine arrival (fun () ->
+  Engine.schedule_choice_at t.engine arrival ~src ~dst ~tag:kind (fun () ->
       Metrics.add t.bytes_received.(dst) bytes;
       if Trace.enabled t.obs.Obs.trace then
         Trace.emit t.obs.Obs.trace ~ts:arrival
@@ -228,8 +231,8 @@ let fanout t ~src ~iter msg =
       if t.filter ~src ~dst msg then begin
         incr accepted;
         if dst = src then
-          Engine.schedule_ix_at t.engine (now + t.config.local_delivery) recv
-            dst
+          Engine.schedule_choice_ix_at t.engine (now + t.config.local_delivery)
+            ~src ~dst ~tag:kind recv dst
         else begin
           let free = t.uplink_free.(src) in
           let start = max now free in
@@ -249,7 +252,8 @@ let fanout t ~src ~iter msg =
             else 0
           in
           let arrival = depart + max 0 (base_latency + jitter) + adversarial in
-          Engine.schedule_ix_at t.engine arrival recv dst
+          Engine.schedule_choice_ix_at t.engine arrival ~src ~dst ~tag:kind recv
+            dst
         end
       end);
   if !accepted > 0 then begin

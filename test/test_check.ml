@@ -1,0 +1,215 @@
+(* Schedule-exploration checker (docs/CHECKING.md): engine delivery-choice
+   points, schedule persistence, exhaustive and random-walk exploration,
+   counterexample minimization and deterministic replay. *)
+
+open Clanbft
+open Clanbft.Sim
+module S = Check.Schedule
+module H = Check.Harness
+module E = Check.Explore
+
+(* ------------------------------------------------------------------ *)
+(* Engine: delivery-choice points *)
+
+let test_choice_pooling () =
+  let engine = Engine.create () in
+  Engine.set_choice_mode engine true;
+  let fired = ref [] in
+  Engine.schedule_choice_at engine 5 ~src:0 ~dst:1 ~tag:"a" (fun () -> fired := 5 :: !fired);
+  Engine.schedule_choice_at engine 9 ~src:1 ~dst:0 ~tag:"b" (fun () -> fired := 9 :: !fired);
+  Alcotest.(check int) "both parked" 2 (Engine.choice_count engine);
+  Engine.run engine;
+  Alcotest.(check (list int)) "run fires nothing pooled" [] !fired;
+  let ids = List.map (fun c -> c.Engine.id) (Engine.choices engine) in
+  Alcotest.(check (list int)) "stable creation-order ids" [ 0; 1 ] ids;
+  Engine.fire_choice engine 1;
+  Engine.fire_choice engine 0;
+  Alcotest.(check (list int)) "fired in chosen order" [ 5; 9 ] !fired;
+  Alcotest.(check int) "pool drained" 0 (Engine.choice_count engine)
+
+let test_choice_unknown_id () =
+  let engine = Engine.create () in
+  Engine.set_choice_mode engine true;
+  Engine.schedule_choice_at engine 1 ~src:0 ~dst:1 ~tag:"a" (fun () -> ());
+  Engine.fire_choice engine 0;
+  Alcotest.check_raises "double fire"
+    (Invalid_argument "Engine.fire_choice: unknown or already-fired choice")
+    (fun () -> Engine.fire_choice engine 0)
+
+let test_choice_mode_off_is_calendar () =
+  (* With choice mode off, the choice entry points must behave exactly
+     like plain scheduling: same firing order, nothing pooled. *)
+  let engine = Engine.create () in
+  let order = ref [] in
+  Engine.schedule_choice_at engine 7 ~src:0 ~dst:1 ~tag:"b" (fun () -> order := "b" :: !order);
+  Engine.schedule_at engine 3 (fun () -> order := "a" :: !order);
+  Engine.run engine;
+  Alcotest.(check (list string)) "calendar order" [ "a"; "b" ] (List.rev !order);
+  Alcotest.(check int) "nothing pooled" 0 (Engine.choice_count engine)
+
+let test_small_ring_equivalence () =
+  (* A tiny ring must produce the same execution as the default one:
+     far-future events overflow to the heap but fire at the same times. *)
+  let run bits =
+    let engine = Engine.create ?ring_bits:bits () in
+    let log = ref [] in
+    let ev t = Engine.schedule_at engine t (fun () -> log := (t, Engine.now engine) :: !log) in
+    List.iter ev [ 10; 100_000; 3; 5_000_000; 42 ];
+    Engine.run engine;
+    List.rev !log
+  in
+  Alcotest.(check (list (pair int int)))
+    "ring_bits=6 == default" (run None) (run (Some 6))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule files *)
+
+let test_schedule_round_trip () =
+  let path = Filename.temp_file "clanbft_sched" ".txt" in
+  let actions = [ S.Deliver 3; S.Step; S.Crash 2; S.Deliver 0; S.Recover 2 ] in
+  let meta = [ ("model", "rbc-tribe-bracha"); ("n", "4") ] in
+  S.save ~path ~meta ~notes:[ "val 0->1"; ""; ""; "echo 1->2"; "" ] actions;
+  (match S.load path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok (meta', actions') ->
+      Alcotest.(check (list (pair string string))) "meta" meta meta';
+      Alcotest.(check bool) "actions" true (actions = actions'));
+  Sys.remove path
+
+let test_schedule_bad_line () =
+  let path = Filename.temp_file "clanbft_sched" ".txt" in
+  let oc = open_out path in
+  output_string oc "# clanbft/check-schedule/v1\ndeliver twelve\n";
+  close_out oc;
+  (match S.load path with
+  | Ok _ -> Alcotest.fail "corrupt schedule accepted"
+  | Error _ -> ());
+  Sys.remove path
+
+let test_spec_meta_round_trip () =
+  let spec =
+    { H.default_spec with H.adversary = H.Collude; late_join = true; crashes = 2 }
+  in
+  match H.spec_of_meta (H.spec_meta spec) with
+  | Error e -> Alcotest.failf "spec_of_meta: %s" e
+  | Ok spec' -> Alcotest.(check bool) "spec round-trips" true (spec = spec')
+
+(* ------------------------------------------------------------------ *)
+(* Exploration *)
+
+let spec_rbc p rounds adversary =
+  { H.default_spec with H.model = H.Rbc p; rounds; adversary }
+
+let test_exhaustive_honest () =
+  (* One round, both tribe families: every reordering within the budget
+     must satisfy agreement, validity, no-equivocation and totality. *)
+  List.iter
+    (fun p ->
+      let r = E.exhaustive (spec_rbc p 1 H.No_adversary) in
+      Alcotest.(check bool) "no violation" true (r.E.violation = None);
+      Alcotest.(check bool) "explored >1 run" true (r.E.stats.E.runs > 1);
+      Alcotest.(check int) "no truncation" 0 r.E.stats.E.truncated)
+    [ Rbc.Tribe_bracha; Rbc.Tribe_signed ]
+
+let test_exhaustive_equivocate_safe () =
+  (* f=1 equivocating sender: within the fault model, so every schedule
+     must still be safe. *)
+  let r = E.exhaustive (spec_rbc Rbc.Tribe_signed 1 H.Equivocate) in
+  Alcotest.(check bool) "no violation" true (r.E.violation = None)
+
+let test_exhaustive_collude_violates () =
+  (* Two byz nodes against f=1: outside the fault model, the checker
+     must find an agreement violation and minimize it. *)
+  let spec = spec_rbc Rbc.Tribe_bracha 1 H.Collude in
+  let r = E.exhaustive spec in
+  (match r.E.violation with
+  | None -> Alcotest.fail "collude schedule not found"
+  | Some v -> Alcotest.(check string) "invariant" "agreement" v.H.invariant);
+  let small = E.minimize spec r.E.schedule in
+  Alcotest.(check bool) "minimized is no longer" true
+    (List.length small <= List.length r.E.schedule);
+  (* The minimized schedule must still reproduce the same invariant. *)
+  let run = E.run_schedule spec small in
+  (match run.E.run_violation with
+  | None -> Alcotest.fail "minimized schedule lost the violation"
+  | Some v -> Alcotest.(check string) "same invariant" "agreement" v.H.invariant)
+
+let test_replay_identical () =
+  (* Two independent replays of one schedule end in identical states and
+     execute identical action sequences. *)
+  let spec = spec_rbc Rbc.Tribe_signed 1 H.Collude in
+  let r = E.exhaustive spec in
+  let sched = E.minimize spec r.E.schedule in
+  let a = E.run_schedule spec sched and b = E.run_schedule spec sched in
+  Alcotest.(check bool) "same executed" true (a.E.executed = b.E.executed);
+  Alcotest.(check string) "same state"
+    (H.state_line a.E.world) (H.state_line b.E.world);
+  Alcotest.(check bool) "same notes" true (a.E.notes = b.E.notes)
+
+let test_walks_deterministic () =
+  let spec = spec_rbc Rbc.Tribe_bracha 1 H.No_adversary in
+  let a = E.walks ~seed:42L ~count:20 spec in
+  let b = E.walks ~seed:42L ~count:20 spec in
+  Alcotest.(check bool) "no violation" true (a.E.violation = None);
+  Alcotest.(check int) "same transitions" a.E.stats.E.transitions b.E.stats.E.transitions;
+  Alcotest.(check int) "same depth" a.E.stats.E.max_depth b.E.stats.E.max_depth
+
+let test_late_join_totality () =
+  (* Canonical run with the late-join hook: node n-1 loses its queued
+     traffic, rejoins via request_sync, and totality must still hold. *)
+  let spec = { (spec_rbc Rbc.Tribe_signed 1 H.No_adversary) with H.late_join = true } in
+  let run = E.run_schedule spec [] in
+  Alcotest.(check bool) "no error" true (run.E.error = None);
+  Alcotest.(check bool) "no violation" true (run.E.run_violation = None)
+
+let test_crash_budget () =
+  let spec = { (spec_rbc Rbc.Tribe_bracha 1 H.No_adversary) with H.crashes = 1 } in
+  let r = E.exhaustive spec in
+  Alcotest.(check bool) "no violation" true (r.E.violation = None)
+
+let test_sailfish_walks () =
+  let spec = { H.default_spec with H.model = H.Sailfish; rounds = 4 } in
+  let r = E.walks ~max_actions:250 ~seed:7L ~count:5 spec in
+  Alcotest.(check bool) "no violation" true (r.E.violation = None);
+  (* Sailfish generates rounds forever; every walk hits the depth cap. *)
+  Alcotest.(check int) "all truncated" 5 r.E.stats.E.truncated
+
+let test_dpor_prunes () =
+  (* Sleep sets must only remove redundant interleavings: same verdict,
+     strictly fewer transitions than the unpruned search. *)
+  let spec = spec_rbc Rbc.Tribe_bracha 1 H.No_adversary in
+  let on = E.exhaustive ~dpor:true spec in
+  let off = E.exhaustive ~dpor:false spec in
+  Alcotest.(check bool) "same verdict" true
+    ((on.E.violation = None) = (off.E.violation = None));
+  Alcotest.(check bool) "dpor explores strictly less" true
+    (on.E.stats.E.transitions < off.E.stats.E.transitions)
+
+let suites =
+  [
+    ( "check.engine",
+      [
+        Alcotest.test_case "choice pooling + fire order" `Quick test_choice_pooling;
+        Alcotest.test_case "unknown choice id raises" `Quick test_choice_unknown_id;
+        Alcotest.test_case "choice mode off == calendar" `Quick test_choice_mode_off_is_calendar;
+        Alcotest.test_case "small ring == default ring" `Quick test_small_ring_equivalence;
+      ] );
+    ( "check.schedule",
+      [
+        Alcotest.test_case "save/load round-trip" `Quick test_schedule_round_trip;
+        Alcotest.test_case "corrupt line rejected" `Quick test_schedule_bad_line;
+        Alcotest.test_case "spec meta round-trip" `Quick test_spec_meta_round_trip;
+      ] );
+    ( "check.explore",
+      [
+        Alcotest.test_case "exhaustive honest is safe" `Quick test_exhaustive_honest;
+        Alcotest.test_case "equivocating sender stays safe" `Quick test_exhaustive_equivocate_safe;
+        Alcotest.test_case "collusion found + minimized" `Quick test_exhaustive_collude_violates;
+        Alcotest.test_case "replay is deterministic" `Quick test_replay_identical;
+        Alcotest.test_case "walks are seed-deterministic" `Quick test_walks_deterministic;
+        Alcotest.test_case "late join keeps totality" `Quick test_late_join_totality;
+        Alcotest.test_case "crash/recover schedules safe" `Quick test_crash_budget;
+        Alcotest.test_case "sailfish walks stay consistent" `Quick test_sailfish_walks;
+        Alcotest.test_case "sleep sets prune soundly" `Quick test_dpor_prunes;
+      ] );
+  ]

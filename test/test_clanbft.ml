@@ -6,4 +6,5 @@ let () =
    @ Test_sim.suites @ Test_committee.suites @ Test_types.suites
    @ Test_rbc.suites @ Test_faults.suites @ Test_dag.suites
    @ Test_consensus.suites @ Test_poa.suites @ Test_smr.suites
-   @ Test_obs.suites @ Test_analyze.suites @ Test_recovery.suites)
+   @ Test_obs.suites @ Test_analyze.suites @ Test_recovery.suites
+   @ Test_check.suites)
