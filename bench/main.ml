@@ -850,7 +850,7 @@ let mk_perf_scenario ?(n = 16) ?(duration = 4.) ?(warmup = 1.) name protocol loa
       };
   }
 
-(* The three pinned n=16 scenarios: the fingerprinted determinism anchors,
+(* The four pinned n=16 scenarios: the fingerprinted determinism anchors,
    and the only ones traced for the analysis section (tracing an n=150 run
    would dominate the whole bench). *)
 let pinned_perf_scenarios () =
@@ -858,19 +858,35 @@ let pinned_perf_scenarios () =
     mk_perf_scenario "sailfish-n16-load200" Runner.Full 200;
     mk_perf_scenario "single-clan-n16-load400" (Runner.Single_clan { nc = 11 }) 400;
     mk_perf_scenario "multi-clan-n16q2-load200" (Runner.Multi_clan { q = 2 }) 200;
+    mk_perf_scenario "sparse-n16-load200" (Runner.Sparse { k = 3 }) 200;
   ]
 
-(* Scale scenarios ride in BENCH_sim.json behind the pinned trio: n=50
+(* Scale scenarios ride in BENCH_sim.json behind the pinned quartet: n=50
    always (cheap enough for CI, catches fan-out regressions the n=16 runs
-   under-weight), n=150 only at --paper-scale. *)
+   under-weight), the dense-vs-sparse n=150 head-to-head plus the n=300
+   dense and n=500 sparse stretch runs only at --paper-scale. The stretch
+   durations shrink with n: event volume grows with n^3 (echo fan-out),
+   so the sim horizon is what keeps the wall time in minutes. *)
 let perf_scenarios () =
   pinned_perf_scenarios ()
-  @ [ mk_perf_scenario ~n:50 ~duration:2. ~warmup:0.5 "sailfish-n50-load200"
-        Runner.Full 200 ]
+  @ [
+      mk_perf_scenario ~n:50 ~duration:2. ~warmup:0.5 "sailfish-n50-load200"
+        Runner.Full 200;
+      mk_perf_scenario ~n:50 ~duration:2. ~warmup:0.5 "sparse-n50-load200"
+        (Runner.Sparse { k = 6 }) 200;
+    ]
   @
   if !paper_scale_enabled then
-    [ mk_perf_scenario ~n:150 ~duration:1. ~warmup:0.25 "sailfish-n150-load200"
-        Runner.Full 200 ]
+    [
+      mk_perf_scenario ~n:150 ~duration:1. ~warmup:0.25 "sailfish-n150-load200"
+        Runner.Full 200;
+      mk_perf_scenario ~n:150 ~duration:1. ~warmup:0.25 "sparse-n150-load200"
+        (Runner.Sparse { k = 8 }) 200;
+      mk_perf_scenario ~n:300 ~duration:0.5 ~warmup:0.1 "sailfish-n300-load200"
+        Runner.Full 200;
+      mk_perf_scenario ~n:500 ~duration:0.4 ~warmup:0.1 "sparse-n500-load200"
+        (Runner.Sparse { k = 9 }) 200;
+    ]
   else []
 
 (* Traced re-runs of the pinned perf scenarios, analyzed by the Analyze
@@ -937,7 +953,7 @@ let perf_micro () =
   let hashes = ops_per_s ~batch:2 (fun () -> Crypto.Sha256.digest_string mb) in
   let sha_mb_s = hashes *. float_of_int (String.length mb) /. 1e6 in
   (* Signing over realistic ~64-byte signing strings, cycling 256 distinct
-     messages so the memo serves hits like a broadcast's n verifiers. *)
+     messages like a broadcast's per-slot signing payloads. *)
   let kc = Crypto.Keychain.create ~seed:1L ~n:64 in
   let msgs =
     Array.init 256 (fun i -> Printf.sprintf "echo|%d|%d|%032d" (i mod 50) i i)
@@ -1041,15 +1057,24 @@ let perf () =
         let minor = g1.Gc.minor_words -. g0.Gc.minor_words in
         let major = g1.Gc.major_words -. g0.Gc.major_words in
         let promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+        (* Heap footprint: live words retained once the run's garbage is
+           collected (the run's data structures plus anything cached so
+           far), and the process peak. [Gc.stat] — not [quick_stat], which
+           reports live_words as 0. top_heap_words is monotone across
+           scenarios, so only its first growth is attributable. *)
+        Gc.full_major ();
+        let heap = Gc.stat () in
+        let live = heap.Gc.live_words and top = heap.Gc.top_heap_words in
         let events_per_s = float_of_int r.Runner.events /. secs in
         progress
-          "  %-26s %6.2fs wall  %9.0f events/s  minor %11.0f w  major %10.0f w\n"
-          sc.ps_name secs events_per_s minor major;
+          "  %-26s %6.2fs wall  %9.0f events/s  minor %11.0f w  major %10.0f \
+           w  live %9d w  top %9d w\n"
+          sc.ps_name secs events_per_s minor major live top;
         Printf.printf "  %-26s %4d %6d %10d %12d %8b %#18x\n" sc.ps_name
           sc.ps_spec.Runner.n sc.ps_spec.Runner.txns_per_proposal
           r.Runner.committed_txns r.Runner.events r.Runner.agreement
           r.Runner.commit_fingerprint;
-        (sc, r, secs, events_per_s, minor, major, promoted))
+        (sc, r, secs, events_per_s, minor, major, promoted, live, top))
       scenarios
   in
   let micros = perf_micro () in
@@ -1084,13 +1109,13 @@ let perf () =
       (Lazy.force analysis_rows)
   in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"clanbft/bench-sim/v2\",\n";
+  Buffer.add_string b "  \"schema\": \"clanbft/bench-sim/v3\",\n";
   Buffer.add_string b (Printf.sprintf "  \"profile\": \"%s\",\n" profile_name);
   Buffer.add_string b
     (Printf.sprintf "  \"jobs\": %d,\n" (Pool.jobs (Lazy.force pool)));
   Buffer.add_string b "  \"scenarios\": [\n";
   List.iteri
-    (fun i (sc, (r : Runner.result), secs, eps, minor, major, promoted) ->
+    (fun i (sc, (r : Runner.result), secs, eps, minor, major, promoted, live, top) ->
       Buffer.add_string b "    {";
       Buffer.add_string b
         (String.concat ", "
@@ -1108,6 +1133,8 @@ let perf () =
              Printf.sprintf "\"minor_words\": %s" (json_float minor);
              Printf.sprintf "\"major_words\": %s" (json_float major);
              Printf.sprintf "\"promoted_words\": %s" (json_float promoted);
+             Printf.sprintf "\"live_words\": %d" live;
+             Printf.sprintf "\"top_heap_words\": %d" top;
              Printf.sprintf "\"committed_txns\": %d" r.committed_txns;
              Printf.sprintf "\"throughput_ktps\": %s" (json_float r.throughput_ktps);
              Printf.sprintf "\"latency_mean_ms\": %s" (json_float r.latency_mean_ms);

@@ -20,11 +20,16 @@ let protocol_conv =
     | "full" | "sailfish" -> Ok `Full
     | "single-clan" | "single" -> Ok `Single
     | "multi-clan" | "multi" -> Ok `Multi
-    | _ -> Error (`Msg "expected full | single-clan | multi-clan")
+    | "sparse" -> Ok `Sparse
+    | _ -> Error (`Msg "expected full | single-clan | multi-clan | sparse")
   in
   let print ppf p =
     Format.pp_print_string ppf
-      (match p with `Full -> "full" | `Single -> "single-clan" | `Multi -> "multi-clan")
+      (match p with
+      | `Full -> "full"
+      | `Single -> "single-clan"
+      | `Multi -> "multi-clan"
+      | `Sparse -> "sparse")
   in
   Arg.conv (parse, print)
 
@@ -76,8 +81,9 @@ let restarts_flag =
     $ restarts)
 
 let sim_cmd =
-  let run n protocol nc q load size duration warmup seed uniform crashed
-      fault_plan restarts persist trace trace_chrome metrics_out verbose =
+  let run n protocol nc q sparse_k load size duration warmup seed uniform
+      crashed fault_plan restarts persist trace trace_chrome metrics_out
+      verbose =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -99,6 +105,7 @@ let sim_cmd =
           in
           Runner.Single_clan { nc }
       | `Multi -> Runner.Multi_clan { q }
+      | `Sparse -> Runner.Sparse { k = sparse_k }
     in
     let run_with obs =
       Runner.run
@@ -172,13 +179,18 @@ let sim_cmd =
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
   let protocol =
     Arg.(value & opt protocol_conv `Single
-         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan.")
+         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan | sparse.")
   in
   let nc =
     Arg.(value & opt (some int) None
          & info [ "clan-size" ] ~doc:"Clan size (single-clan); default: exact minimum at 1e-6.")
   in
   let q = Arg.(value & opt int 2 & info [ "clans" ] ~doc:"Clan count (multi-clan).") in
+  let sparse_k =
+    Arg.(value & opt int 3
+         & info [ "sparse-k" ]
+             ~doc:"Sampled strong parents per vertex (sparse protocol).")
+  in
   let load =
     Arg.(value & opt int 500 & info [ "load" ] ~doc:"Transactions per proposal.")
   in
@@ -222,9 +234,9 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc:"Run a simulated geo-distributed experiment")
     Term.(
-      const run $ n $ protocol $ nc $ q $ load $ size $ duration $ warmup $ seed
-      $ uniform $ crashed $ fault_flags $ restarts_flag $ persist $ trace
-      $ trace_chrome $ metrics_out $ verbose)
+      const run $ n $ protocol $ nc $ q $ sparse_k $ load $ size $ duration
+      $ warmup $ seed $ uniform $ crashed $ fault_flags $ restarts_flag
+      $ persist $ trace $ trace_chrome $ metrics_out $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* clan-size *)
@@ -404,7 +416,8 @@ let rbc_cmd =
 (* sweep *)
 
 let sweep_cmd =
-  let run n protocol nc q loads size duration warmup seed uniform restarts jobs =
+  let run n protocol nc q sparse_k loads size duration warmup seed uniform
+      restarts jobs =
     let protocol =
       match protocol with
       | `Full -> Runner.Full
@@ -422,6 +435,7 @@ let sweep_cmd =
           in
           Runner.Single_clan { nc }
       | `Multi -> Runner.Multi_clan { q }
+      | `Sparse -> Runner.Sparse { k = sparse_k }
     in
     let specs =
       Array.of_list
@@ -456,13 +470,18 @@ let sweep_cmd =
   let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
   let protocol =
     Arg.(value & opt protocol_conv `Single
-         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan.")
+         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan | sparse.")
   in
   let nc =
     Arg.(value & opt (some int) None
          & info [ "clan-size" ] ~doc:"Clan size (single-clan); default: exact minimum at 1e-6.")
   in
   let q = Arg.(value & opt int 2 & info [ "clans" ] ~doc:"Clan count (multi-clan).") in
+  let sparse_k =
+    Arg.(value & opt int 3
+         & info [ "sparse-k" ]
+             ~doc:"Sampled strong parents per vertex (sparse protocol).")
+  in
   let loads =
     Arg.(value & opt (list int) [ 125; 500; 1500; 3000; 6000 ]
          & info [ "loads" ] ~doc:"Comma-separated transactions-per-proposal sweep.")
@@ -487,8 +506,8 @@ let sweep_cmd =
              domains; results print in load order and are independent of \
              scheduling")
     Term.(
-      const run $ n $ protocol $ nc $ q $ loads $ size $ duration $ warmup
-      $ seed $ uniform $ restarts_flag $ jobs)
+      const run $ n $ protocol $ nc $ q $ sparse_k $ loads $ size $ duration
+      $ warmup $ seed $ uniform $ restarts_flag $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
@@ -536,9 +555,9 @@ let analyze_cmd =
 (* check *)
 
 let check_cmd =
-  let run model protocol n rounds adversary late_join crashes exhaustive
-      delay_budget window max_actions no_dpor walks steps seed replay
-      schedule_out trace_out =
+  let run model protocol n rounds adversary late_join crashes sparse_k
+      exhaustive delay_budget window max_actions no_dpor walks steps seed
+      replay schedule_out trace_out =
     let module H = Check.Harness in
     let module E = Check.Explore in
     let module S = Check.Schedule in
@@ -566,7 +585,7 @@ let check_cmd =
         | "collude" -> H.Collude
         | _ -> fail2 "adversary: none | equivocate | collude"
       in
-      { H.model; n; rounds; adversary; late_join; crashes }
+      { H.model; n; rounds; adversary; late_join; crashes; sparse_k }
     in
     let model_name spec = List.assoc "model" (H.spec_meta spec) in
     let dump_trace world path =
@@ -687,6 +706,12 @@ let check_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~doc:"Crash/recover scheduling-action budget.")
   in
+  let check_sparse_k =
+    Arg.(value & opt (some int) None
+         & info [ "sparse-k" ]
+             ~doc:"Run the Sailfish model over sparse edges with this many \
+                   sampled strong parents per vertex (default: dense).")
+  in
   let exhaustive =
     Arg.(value & flag
          & info [ "exhaustive" ]
@@ -743,8 +768,9 @@ let check_cmd =
              replayable (docs/CHECKING.md)")
     Term.(
       const run $ model $ protocol $ n $ rounds $ adversary $ late_join
-      $ crashes $ exhaustive $ delay_budget $ window $ max_actions $ no_dpor
-      $ walks $ steps $ seed $ replay $ schedule_out $ trace_out)
+      $ crashes $ check_sparse_k $ exhaustive $ delay_budget $ window
+      $ max_actions $ no_dpor $ walks $ steps $ seed $ replay $ schedule_out
+      $ trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* latency *)

@@ -80,6 +80,34 @@ fi
 echo "n=50 committed $n50_txns txns within budget"
 rm -rf "$smoke_dir"
 
+echo "== sparse smoke (n=16, k=3, same-seed double run) =="
+# The sparse edge policy derives every sampled parent from the vertex
+# seed: two same-seed runs must be byte-identical, and the O(k) parent
+# sets must still reach agreement.
+smoke_dir=$(mktemp -d)
+dune exec bin/clanbft_cli.exe -- sim -n 16 -p sparse --sparse-k 3 \
+  --duration 4 --warmup 1 --seed 7 >"$smoke_dir/sp1" 2>/dev/null
+dune exec bin/clanbft_cli.exe -- sim -n 16 -p sparse --sparse-k 3 \
+  --duration 4 --warmup 1 --seed 7 >"$smoke_dir/sp2" 2>/dev/null
+if ! cmp -s "$smoke_dir/sp1" "$smoke_dir/sp2"; then
+  echo "sparse run differs between two same-seed runs"
+  diff "$smoke_dir/sp1" "$smoke_dir/sp2" || true
+  exit 1
+fi
+grep -q "agree=true" "$smoke_dir/sp1" || {
+  echo "agreement lost under sparse edges"
+  cat "$smoke_dir/sp1"
+  exit 1
+}
+sp_txns=$(awk '/^committed/ { print $2 }' "$smoke_dir/sp1")
+if [ -z "$sp_txns" ] || [ "$sp_txns" -le 0 ]; then
+  echo "sparse smoke committed no transactions"
+  cat "$smoke_dir/sp1"
+  exit 1
+fi
+echo "sparse n=16 committed $sp_txns txns, deterministic"
+rm -rf "$smoke_dir"
+
 echo "== bench metrics smoke =="
 smoke_dir=$(mktemp -d)
 (cd "$smoke_dir" && CLANBFT_BENCH=quick dune exec --root "$OLDPWD" bench/main.exe -- metrics)
@@ -166,6 +194,35 @@ grep -q "verdict: ok" "$smoke_dir/walk_sf" || {
   cat "$smoke_dir/walk_sf"
   exit 1
 }
+echo "== check: sparse edges (exhaustive n=4 + 2500 walks) =="
+# The sparse coverage rule (leader + link + sampled parents) replaces the
+# dense 2f+1-parents assumption; both search modes must stay violation-free.
+timeout 90 dune exec bin/clanbft_cli.exe -- check --model sailfish -n 4 \
+  --rounds 2 --sparse-k 2 --exhaustive --delay-budget 1 --window 3 \
+  --max-actions 120 >"$smoke_dir/sparse_ex" 2>/dev/null || {
+  echo "sparse exhaustive check failed or exceeded its 90 s wall cap"
+  cat "$smoke_dir/sparse_ex" 2>/dev/null || true
+  exit 1
+}
+grep -q "verdict: ok" "$smoke_dir/sparse_ex" || {
+  echo "sparse exhaustive check reported a violation"
+  cat "$smoke_dir/sparse_ex"
+  exit 1
+}
+sed -n 's/^check: /  sparse exhaustive: /p' "$smoke_dir/sparse_ex"
+timeout 120 dune exec bin/clanbft_cli.exe -- check --model sailfish -n 4 \
+  --rounds 4 --sparse-k 2 --walks 2500 --steps 300 --seed 7 \
+  >"$smoke_dir/walk_sparse" 2>/dev/null || {
+  echo "sparse walk budget failed"
+  cat "$smoke_dir/walk_sparse" 2>/dev/null || true
+  exit 1
+}
+grep -q "verdict: ok" "$smoke_dir/walk_sparse" || {
+  echo "sparse walks reported a violation"
+  cat "$smoke_dir/walk_sparse"
+  exit 1
+}
+
 timeout 60 dune exec bin/clanbft_cli.exe -- check -p tribe-signed -n 4 \
   --rounds 1 --adversary equivocate --exhaustive >"$smoke_dir/equiv" 2>/dev/null || {
   echo "equivocating-sender check failed"
@@ -236,14 +293,16 @@ test -s "$smoke_dir/BENCH_sim.json" || {
   exit 1
 }
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "clanbft/bench-sim/v2"
+  jq -e '.schema == "clanbft/bench-sim/v3"
          and .jobs == 2
-         and (.scenarios | length) >= 4
+         and (.scenarios | length) >= 5
          and (.scenarios | all(has("events_per_s") and has("wall_s")
-              and has("minor_words") and has("commit_fingerprint")))
+              and has("minor_words") and has("live_words")
+              and has("top_heap_words") and has("commit_fingerprint")))
+         and (.scenarios | map(.name) | index("sparse-n16-load200") != null)
          and (.micro | has("sha256_mb_per_s") and has("net_send_ops_per_s")
               and has("encode_ops_per_s") and has("decode_ops_per_s"))
-         and (.analysis | length == 3
+         and (.analysis | length == 4
               and all(.[]; (.e2e.count > 0)
                    and (.segments | has("dissemination") and has("echo_wait")
                         and has("quorum_wait") and has("dag_wait")
@@ -253,7 +312,7 @@ if command -v jq >/dev/null 2>&1; then
     exit 1
   }
 else
-  for key in '"schema": "clanbft/bench-sim/v2"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"' '"analysis"'; do
+  for key in '"schema": "clanbft/bench-sim/v3"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"' '"analysis"'; do
     grep -qF "$key" "$smoke_dir/BENCH_sim.json" || {
       echo "BENCH_sim.json missing $key"
       exit 1
@@ -322,6 +381,17 @@ if command -v jq >/dev/null 2>&1; then
     "$smoke_dir/BENCH_sim.json" >"$smoke_dir/tampered2.json"
   if perf_gate BENCH_sim.json "$smoke_dir/tampered2.json" >/dev/null 2>&1; then
     echo "perf gate self-test failed: synthetic latency regression not detected"
+    exit 1
+  fi
+  # The sparse scenario is gated by name: a collapse confined to the
+  # sparse-n16 entry must trip the gate on its own.
+  jq '(.scenarios[] | select(.name == "sparse-n16-load200")
+       | .throughput_ktps) *= 0.5
+      | (.scenarios[] | select(.name == "sparse-n16-load200")
+         | .committed_txns) = 0' \
+    "$smoke_dir/BENCH_sim.json" >"$smoke_dir/tampered3.json"
+  if perf_gate BENCH_sim.json "$smoke_dir/tampered3.json" >/dev/null 2>&1; then
+    echo "perf gate self-test failed: sparse-only regression not detected"
     exit 1
   fi
   echo "perf gate OK (and self-test trips on synthetic regressions)"

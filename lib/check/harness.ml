@@ -19,6 +19,7 @@ type spec = {
   adversary : adversary;
   late_join : bool;
   crashes : int;
+  sparse_k : int option;
 }
 
 let default_spec =
@@ -29,6 +30,7 @@ let default_spec =
     adversary = No_adversary;
     late_join = false;
     crashes = 0;
+    sparse_k = None;
   }
 
 let model_to_string = function
@@ -66,6 +68,9 @@ let spec_meta s =
     ("late_join", string_of_bool s.late_join);
     ("crashes", string_of_int s.crashes);
   ]
+  @ match s.sparse_k with
+    | None -> []
+    | Some k -> [ ("sparse_k", string_of_int k) ]
 
 let spec_of_meta meta =
   let int_field name v k =
@@ -90,6 +95,8 @@ let spec_of_meta meta =
               | Some late_join -> Ok { s with late_join }
               | None -> Error ("bad late_join: " ^ v))
           | "crashes" -> int_field "crashes" v (fun crashes -> { s with crashes })
+          | "sparse_k" ->
+              int_field "sparse_k" v (fun k -> { s with sparse_k = Some k })
           | _ -> Ok s))
     (Ok default_spec) meta
 
@@ -395,7 +402,14 @@ let build_sailfish ~trace s =
       ?obs ~rng:(Rng.create 1L) ()
   in
   let keychain = Keychain.create ~seed:11L ~n in
-  let cfg = Config.make ~n Config.Full in
+  (* The checker's edge-selection seed is fixed: schedules replayed from a
+     saved spec must rebuild the exact same sparse DAG. *)
+  let edge_policy =
+    match s.sparse_k with
+    | None -> Config.Dense
+    | Some k -> Config.Sparse { k; seed = 1L }
+  in
+  let cfg = Config.make ~n ~edge_policy Config.Full in
   let violation_ref = ref None in
   let set_violation invariant detail =
     if !violation_ref = None then violation_ref := Some { invariant; detail }
@@ -481,6 +495,10 @@ let build ?(trace = false) s =
   if s.n < 4 then invalid_arg "Harness.build: n must be at least 4 (= 3f+1)";
   if s.rounds < 1 then invalid_arg "Harness.build: rounds must be positive";
   if s.crashes < 0 then invalid_arg "Harness.build: negative crash budget";
+  (match s.sparse_k with
+  | Some k when s.model <> Sailfish || k < 1 ->
+      invalid_arg "Harness.build: sparse_k needs the Sailfish model and k >= 1"
+  | _ -> ());
   let w =
     match s.model with
     | Rbc protocol -> build_rbc ~trace s protocol

@@ -79,11 +79,16 @@ type spec = {
   crashes : int;
       (** budget of crash/recover scheduling actions the explorer may
           spend pausing honest nodes mid-run *)
+  sparse_k : int option;
+      (** [Some k] runs the Sailfish model over sparse edges
+          ({!Clanbft_types.Config.Sparse} with a fixed seed, so replay
+          rebuilds the same DAG); [None] (default) keeps dense edges.
+          Sailfish-only. *)
 }
 
 val default_spec : spec
 (** [Rbc Tribe_bracha], n = 4, 2 rounds, no adversary, no late join,
-    no crashes. *)
+    no crashes, dense edges. *)
 
 val spec_meta : spec -> (string * string) list
 (** Serialize a spec as schedule-file metadata ({!Schedule.save}). *)

@@ -36,10 +36,12 @@ type votes = {
   voters : Bitset.t;
   mutable clan_votes : int;
   mutable shares : (int * Keychain.signature) list;
-  (* Echo signing string for this digest, built once: every one of the ~n
-     echo receipts and the certificate check verify against the same
-     string, and rebuilding it per receipt showed up in profiles. *)
+  (* Echo signing string for this digest, built and hashed once: every one
+     of the ~n echo receipts and the certificate check verify against the
+     same string, and both rebuilding and rehashing it per receipt showed
+     up in profiles (echo receipts are ~n³ per round at paper scale). *)
   signing : string;
+  signing_h : Keychain.msg_hash;
 }
 
 (* One merged vertex+block broadcast instance per (round, source). *)
@@ -84,8 +86,10 @@ type t = {
   make_block : round:int -> Transaction.t array;
   on_commit : leader:Vertex.t -> Vertex.t list -> unit;
   on_block : Block.t -> unit;
-  (* dissemination *)
-  slots : (int * int, slot) Hashtbl.t;
+  (* dissemination; keyed by [round * n + source] — echo receipts probe
+     this table ~n³ times per round, and a packed int key avoids the
+     per-probe pair allocation and structural hash of an (int * int) key *)
+  slots : (int, slot) Hashtbl.t;
   pending : (int * int, Vertex.t) Hashtbl.t; (* delivered, parents missing *)
   (* Reverse index over [pending]: parent slot -> children buffered on it.
      An insertion wakes exactly the children waiting on that slot instead
@@ -142,6 +146,24 @@ let dag_size t = Store.size t.store
 let quorum t = Config.quorum t.config
 let leader_of t round = Config.leader_of_round t.config round
 
+(* Certificate relayers for a slot under the sparse edge policy: the f+1
+   nodes source, source+1, ..., source+f (mod n). Any set of f+1 distinct
+   parties contains an honest one, and echoes are n-wide broadcasts, so
+   every honest relayer reaches the certificate threshold whenever any
+   honest party does — one honest relayer's broadcast then delivers the
+   slot everywhere. Dense mode keeps the paper's broadcast-by-everyone
+   redundancy (and its pinned byte-identical message flow), and so does
+   sparse with k >= n, where the edge policy is defined to degenerate to
+   dense exactly (the equivalence tests rely on this). *)
+let cert_relayer t ~source =
+  match Config.edge_policy t.config with
+  | Config.Dense -> true
+  | Config.Sparse { k; _ } when k >= Config.n t.config -> true
+  | Config.Sparse _ ->
+      let n = Config.n t.config in
+      let f = (n - 1) / 3 in
+      (t.me - source + n) mod n <= f
+
 let trace_phase t ~sender ~round phase =
   let tr = t.obsh.o_trace in
   if Trace.enabled tr then
@@ -154,8 +176,10 @@ let trace_recovery t ~stage ~round =
     Trace.emit tr ~ts:(Engine.now t.engine)
       (Trace.Recovery { node = t.me; stage; round })
 
+let slot_key t ~round ~source = (round * Config.n t.config) + source
+
 let slot_of t ~round ~source =
-  match Hashtbl.find_opt t.slots (round, source) with
+  match Hashtbl.find_opt t.slots (slot_key t ~round ~source) with
   | Some s -> s
   | None ->
       let s =
@@ -174,7 +198,7 @@ let slot_of t ~round ~source =
           served = Hashtbl.create 4;
         }
       in
-      Hashtbl.replace t.slots (round, source) s;
+      Hashtbl.replace t.slots (slot_key t ~round ~source) s;
       s
 
 let votes_of tbl ~round ~source digest n =
@@ -182,11 +206,13 @@ let votes_of tbl ~round ~source digest n =
   | Some v -> v
   | None ->
       let v =
+        let signing = Msg.echo_signing_string ~round ~source digest in
         {
           voters = Bitset.create n;
           clan_votes = 0;
           shares = [];
-          signing = Msg.echo_signing_string ~round ~source digest;
+          signing;
+          signing_h = Keychain.hash_msg signing;
         }
       in
       Digest32.Tbl.replace tbl digest v;
@@ -231,18 +257,106 @@ let leader_edge_ok t (v : Vertex.t) =
       | None -> false
   end
 
+(* How many strong parents a round-r vertex must / may carry depends on the
+   edge policy: dense Sailfish demands the full >= 2f+1 of Fig. 4, the
+   sparse mode only a bounded handful (commit safety then rests on the
+   mandatory structural edges — see [sparse_strong_refs]). *)
+let strong_edges_ok t (v : Vertex.t) =
+  let count = Array.length v.strong_edges in
+  if v.round = 0 then count = 0
+  else
+    match Config.edge_policy t.config with
+    | Config.Dense -> count >= quorum t
+    | Config.Sparse _ as p ->
+        count >= 1 && count <= Config.sparse_strong_cap p
+
 let vertex_valid t (v : Vertex.t) =
   v.round >= 0
   && v.source >= 0
   && v.source < Config.n t.config
-  && (v.round = 0 && Array.length v.strong_edges = 0
-     || v.round > 0 && Array.length v.strong_edges >= quorum t)
+  && strong_edges_ok t v
   && leader_edge_ok t v
 
 (* Does this proposer's slot carry a real block? Vertex-only proposers use
    the zero digest. *)
 let expects_block (v : Vertex.t) =
   not (Digest32.equal v.block_digest Digest32.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse-edge parent selection *)
+
+(* Deterministic, seed-keyed rank for sampled parent selection: a
+   splitmix-style avalanche over (seed, round, proposer, candidate). Each
+   honest proposer draws a different k-sample per round, so the union of
+   sampled edges covers a round within a couple of steps, while the fixed
+   seed keeps every run replayable. *)
+let edge_rank ~seed ~round ~me candidate =
+  let h =
+    Int64.to_int seed
+    lxor (round * 0x9E3779B9)
+    lxor (me * 0x85EBCA6B)
+    lxor (candidate * 0xC2B2AE35)
+  in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45D9F3B land max_int in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x846CA68B land max_int in
+  h lxor (h lsr 16)
+
+(* Sparse strong-parent selection for a round-r proposal (r > 0). Picks:
+   - my own round-(r-1) vertex (chain continuity),
+   - the round-(r-1) leader's vertex when delivered — that edge IS the
+     leader vote, exactly as in dense mode,
+   - one "link" parent with a strong edge to the round-(r-2) leader: if
+     that leader was directly committed then 2f+1 round-(r-1) vertices
+     carry such an edge, so any quorum-sized delivered set contains a
+     voter — the link keeps a committed-but-skipped leader strong-path
+     reachable from later anchors,
+   - k further parents, ranked by {!edge_rank}.
+   Unpicked round-(r-1) vertices stay uncovered; they are absorbed
+   transitively through the sampled parents' histories or by later
+   (capped) weak edges. Result is sorted by source — the order the
+   compact wire form requires. *)
+let sparse_strong_parents t ~k ~seed r =
+  let candidates = Store.vertices_at t.store (r - 1) in
+  let picked = Bitset.create (Config.n t.config) in
+  let chosen = ref [] in
+  let pick (v : Vertex.t) =
+    if Bitset.add picked v.source then chosen := v :: !chosen
+  in
+  let lead1 = leader_of t (r - 1) in
+  List.iter
+    (fun (v : Vertex.t) -> if v.source = t.me || v.source = lead1 then pick v)
+    candidates;
+  if r >= 2 then begin
+    let lead2 = leader_of t (r - 2) in
+    let is_link (v : Vertex.t) =
+      Vertex.has_strong_edge_to v ~round:(r - 2) ~source:lead2
+    in
+    if
+      not
+        (List.exists
+           (fun (v : Vertex.t) -> Bitset.mem picked v.source && is_link v)
+           candidates)
+    then
+      match List.find_opt is_link candidates with
+      | Some v -> pick v
+      | None -> ()
+  end;
+  let ranked =
+    List.filter_map
+      (fun (v : Vertex.t) ->
+        if Bitset.mem picked v.source then None
+        else Some (edge_rank ~seed ~round:r ~me:t.me v.source, v))
+      candidates
+    |> List.sort (fun (ra, (va : Vertex.t)) (rb, (vb : Vertex.t)) ->
+           match Int.compare ra rb with
+           | 0 -> Int.compare va.source vb.source
+           | c -> c)
+  in
+  List.iteri (fun i (_, v) -> if i < k then pick v) ranked;
+  List.sort (fun (a : Vertex.t) b -> Int.compare a.source b.source) !chosen
+  |> List.map Vertex.ref_of |> Array.of_list
 
 let in_payload_clan_of t ~proposer = Config.in_payload_clan t.config ~proposer t.me
 
@@ -372,32 +486,49 @@ and on_echo t ~round ~source ~digest ~signer ~signature =
      memoized signing string can be reused; a forged echo still only ever
      creates empty bookkeeping, never a vote. *)
   let slot = slot_of t ~round ~source in
-  let v = votes_of slot.echoes ~round ~source digest (Config.n t.config) in
-  if Keychain.verify t.keychain ~signer v.signing signature then begin
-    if Bitset.add v.voters signer then begin
-      if Config.in_payload_clan t.config ~proposer:source signer then
-        v.clan_votes <- v.clan_votes + 1;
-      v.shares <- (signer, signature) :: v.shares;
-      let clan_needed = Config.clan_echo_threshold t.config ~proposer:source in
-      if
-        (not slot.cert_sent)
-        && Bitset.cardinal v.voters >= quorum t
-        && v.clan_votes >= clan_needed
-      then begin
-        slot.cert_sent <- true;
-        match Keychain.aggregate t.keychain ~msg:v.signing v.shares with
-        | None -> ()
-        | Some agg ->
-            Net.broadcast t.net ~src:t.me
-              (Msg.Echo_cert
-                 {
-                   round;
-                   source;
-                   vertex_digest = digest;
-                   agg;
-                   clan_echoes = v.clan_votes;
-                 });
-            certified t slot digest
+  (* Once this node has made its certificate decision, every later echo is
+     dead weight: the threshold branch below is the only consumer of the
+     vote bookkeeping, and [fetch_vertex] snapshots its voter candidates at
+     certification time. Skipping the ~n - 2f-1 post-certificate echoes
+     (verify included) changes no message and no observable state. *)
+  if not slot.cert_sent then begin
+    let v = votes_of slot.echoes ~round ~source digest (Config.n t.config) in
+    if Keychain.verify_hashed t.keychain ~signer v.signing_h signature then begin
+      if Bitset.add v.voters signer then begin
+        if Config.in_payload_clan t.config ~proposer:source signer then
+          v.clan_votes <- v.clan_votes + 1;
+        v.shares <- (signer, signature) :: v.shares;
+        let clan_needed =
+          Config.clan_echo_threshold t.config ~proposer:source
+        in
+        if
+          Bitset.cardinal v.voters >= quorum t
+          && v.clan_votes >= clan_needed
+        then begin
+          slot.cert_sent <- true;
+          (* Sparse mode restricts certificate fan-out to the slot's f+1
+             relayers (source, source+1, ..., source+f): at least one is
+             honest, echo broadcasts are n-wide so every honest relayer
+             reaches the same threshold whenever any honest node does, and
+             the other n-f-1 redundant certificate broadcasts — the
+             second n³ term in per-round message volume — disappear.
+             Dense mode keeps the broadcast-by-everyone rule. *)
+          if cert_relayer t ~source then
+            match Keychain.aggregate t.keychain ~msg:v.signing v.shares with
+            | None -> ()
+            | Some agg ->
+                Net.broadcast t.net ~src:t.me
+                  (Msg.Echo_cert
+                     {
+                       round;
+                       source;
+                       vertex_digest = digest;
+                       agg;
+                       clan_echoes = v.clan_votes;
+                     })
+          else ();
+          certified t slot digest
+        end
       end
     end
   end
@@ -419,7 +550,7 @@ and on_echo_cert t ~round ~source ~digest ~agg =
     if
       total >= quorum t
       && clan_count >= Config.clan_echo_threshold t.config ~proposer:source
-      && Keychain.verify_aggregate t.keychain ~msg:v.signing agg
+      && Keychain.verify_aggregate_hashed t.keychain ~hash:v.signing_h agg
     then certified t slot digest
   end
 
@@ -881,7 +1012,7 @@ and garbage_collect t =
     drop_below t.waiters;
     let drop_slots =
       Hashtbl.fold
-        (fun ((r, _) as k) _ acc -> if r < horizon then k :: acc else acc)
+        (fun k s acc -> if s.s_round < horizon then k :: acc else acc)
         t.slots []
     in
     List.iter (Hashtbl.remove t.slots) drop_slots;
@@ -987,20 +1118,31 @@ and propose t r =
   (* The origin anchor of this instance's latency attribution: everything
      downstream (VAL arrival, echo quorum, commit) is measured from here. *)
   trace_phase t ~sender:t.me ~round:r Trace.Propose;
+  let policy = Config.edge_policy t.config in
   let strong_edges =
     if r = 0 then [||]
     else
-      Store.vertices_at t.store (r - 1) |> List.map Vertex.ref_of |> Array.of_list
+      match policy with
+      | Config.Dense ->
+          Store.vertices_at t.store (r - 1)
+          |> List.map Vertex.ref_of |> Array.of_list
+      | Config.Sparse { k; seed } -> sparse_strong_parents t ~k ~seed r
   in
   mark_covered t (Array.to_list strong_edges);
   (* Weak edges: everything delivered that my causal history still misses
-     (older than the strong-edge round), so total ordering reaches it. *)
+     (older than the strong-edge round), so total ordering reaches it.
+     Sparse mode caps the batch per proposal; the leftover stays uncovered
+     and drains oldest-first over later rounds. *)
+  let weak_cap = Config.sparse_weak_cap policy in
   let weak_edges =
     Hashtbl.fold
       (fun (round, _) v acc -> if round < r - 1 then v :: acc else acc)
       t.uncovered []
     |> List.sort (fun (a : Vertex.t) b ->
            Vertex.Id.compare (a.round, a.source) (b.round, b.source))
+    |> (fun l ->
+         if List.compare_length_with l weak_cap <= 0 then l
+         else List.filteri (fun i _ -> i < weak_cap) l)
     |> List.map Vertex.ref_of
     |> Array.of_list
   in
@@ -1042,7 +1184,7 @@ and propose t r =
   in
   let vertex =
     Vertex.make ~round:r ~source:t.me ~block_digest ~strong_edges ~weak_edges
-      ?nvc ?tc ()
+      ~compact:(policy <> Config.Dense) ?nvc ?tc ()
   in
   let signature =
     Keychain.sign t.keychain ~signer:t.me (val_signing_string vertex)

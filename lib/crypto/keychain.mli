@@ -1,11 +1,15 @@
 (** Simulated digital signatures and BLS-style multi-signatures.
 
     The sealed container offers no elliptic-curve library, so signatures are
-    simulated: party [i]'s signature on [msg] is
-    [SHA-256(sk_i ‖ msg)] and the verifier recomputes it through the shared
-    {!t} registry (the simulation stand-in for a PKI). Within the simulator
-    this is unforgeable for any adversary that does not hold [sk_i], which is
-    exactly the guarantee consensus needs. Byte sizes on the wire are
+    simulated: party [i]'s signature on [msg] is a keyed pseudo-random tag —
+    four splitmix-style avalanche lanes over two independent 63-bit message
+    digests, keyed by party [i]'s secret words — and the verifier recomputes
+    it through the shared {!t} registry (the simulation stand-in for a PKI).
+    Within the simulator this is unforgeable for any adversary that does not
+    hold the key, which is exactly the guarantee consensus needs; it is
+    deliberately {e not} cryptographic strength, because echo verification
+    runs ~n³ times per round at paper scale and the tag computation is the
+    hottest function in an n = 150 run. Byte sizes on the wire are
     accounted separately and match the paper's BLS setting: an individual
     signature costs κ bytes and an aggregate costs κ bytes plus an
     ⌈n/8⌉-byte signer bitvector (§4: "merely a bit vector indicating who
@@ -29,15 +33,20 @@ val n : t -> int
 val sign : t -> signer:int -> string -> signature
 val verify : t -> signer:int -> string -> signature -> bool
 
-val memo_limit : int
-(** Hard bound on the signature-memo table: entries are keyed by
-    (signer, 32-byte message digest) — never by the message itself — and
-    the table resets wholesale when full, so a run of any length keeps the
-    memo within [memo_limit] entries of ~100 bytes each. *)
+type msg_hash
+(** A message's two 63-bit digests, precomputed once. The echo path
+    verifies up to [n] signers against the same signing string, so hashing
+    it once per slot and passing the [msg_hash] amortises the message scan
+    across all of a slot's verifications. *)
 
-val memo_entries : t -> int
-(** Current memo occupancy; always [<= memo_limit]. For tests and
-    diagnostics. *)
+val hash_msg : string -> msg_hash
+
+val verify_hashed : t -> signer:int -> msg_hash -> signature -> bool
+(** [verify_hashed t ~signer (hash_msg msg) s = verify t ~signer msg s]. *)
+
+val verify_aggregate_hashed : t -> hash:msg_hash -> aggregate -> bool
+(** Aggregate verification against a precomputed message hash; equal to
+    {!verify_aggregate} on the original message. *)
 
 val forge : signature
 (** An invalid signature, for Byzantine behaviours in tests. *)

@@ -32,6 +32,20 @@ let default_config =
    label list; this cache avoids that on the hot path). *)
 type kind_handles = { k_bytes : Metrics.counter; k_msgs : Metrics.counter }
 
+(* One in-flight unicast delivery, recycled through a free stack so the
+   steady-state unicast path allocates nothing per message (loopback
+   copies in particular fire one per proposal per replica). The [c_msg]
+   slot is cleared when the cell is freed so the pool never pins a dead
+   message against the GC. *)
+type 'msg cell = {
+  mutable c_src : int;
+  mutable c_dst : int;
+  mutable c_bytes : int;
+  mutable c_kind : string;
+  mutable c_arrival : Time.t;
+  mutable c_msg : 'msg option;
+}
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
@@ -53,10 +67,53 @@ type 'msg t = {
   by_kind : (string, kind_handles) Hashtbl.t;
   uplink_backlog : Metrics.histogram; (* µs of queued serialization work *)
   uplink_busy : Metrics.counter; (* total µs the uplinks spent serializing *)
+  (* Pooled unicast deliveries: every copy costs one compact [Engine.Ix]
+     cell (shared trampoline + cell index) instead of a fresh closure.
+     [deliver_ix] is the single trampoline, tied back to [t] right after
+     construction. Under lib/check's choice mode a dropped choice leaks
+     its cell until the world is discarded — bounded by the choice pool. *)
+  mutable cells : 'msg cell array;
+  mutable free_stack : int array;
+  mutable free_top : int;
+  mutable deliver_ix : int -> unit;
 }
 
 let no_handler ~src:_ _ =
   failwith "Net: message delivered to a node with no handler installed"
+
+let fresh_cell () =
+  { c_src = 0; c_dst = 0; c_bytes = 0; c_kind = ""; c_arrival = 0; c_msg = None }
+
+let alloc_cell t =
+  if t.free_top = 0 then begin
+    let old = Array.length t.cells in
+    t.cells <-
+      Array.init (2 * old) (fun i -> if i < old then t.cells.(i) else fresh_cell ());
+    let free = Array.make (2 * old) 0 in
+    for i = 0 to old - 1 do
+      free.(i) <- old + i
+    done;
+    t.free_stack <- free;
+    t.free_top <- old
+  end;
+  t.free_top <- t.free_top - 1;
+  t.free_stack.(t.free_top)
+
+(* The shared trampoline behind every pooled delivery. The cell is freed
+   {e before} the handler runs: handlers send, and the reply may reuse the
+   slot immediately. *)
+let deliver_cell t ix =
+  let c = t.cells.(ix) in
+  let src = c.c_src and dst = c.c_dst in
+  let bytes = c.c_bytes and kind = c.c_kind and arrival = c.c_arrival in
+  let msg = match c.c_msg with Some m -> m | None -> assert false in
+  c.c_msg <- None;
+  t.free_stack.(t.free_top) <- ix;
+  t.free_top <- t.free_top + 1;
+  Metrics.add t.bytes_received.(dst) bytes;
+  if Trace.enabled t.obs.Obs.trace then
+    Trace.emit t.obs.Obs.trace ~ts:arrival (Trace.Msg_recv { src; dst; kind; bytes });
+  t.handlers.(dst) ~src msg
 
 let create ~engine ~topology ~config ~size ?(kind = fun _ -> "msg") ?obs ~rng () =
   let n = Topology.n topology in
@@ -69,7 +126,8 @@ let create ~engine ~topology ~config ~size ?(kind = fun _ -> "msg") ?obs ~rng ()
     Array.init n (fun i ->
         Metrics.counter reg ~labels:[ ("node", string_of_int i) ] name)
   in
-  {
+  let t =
+    {
     engine;
     topology;
     config;
@@ -86,11 +144,18 @@ let create ~engine ~topology ~config ~size ?(kind = fun _ -> "msg") ?obs ~rng ()
     total_bytes = Metrics.counter reg "net_bytes_total";
     total_messages = Metrics.counter reg "net_messages_total";
     by_kind = Hashtbl.create 16;
-    uplink_backlog =
-      Metrics.histogram reg ~buckets:Stats.Histogram.size_buckets
-        "uplink_backlog_us";
-    uplink_busy = Metrics.counter reg "uplink_busy_us_total";
-  }
+      uplink_backlog =
+        Metrics.histogram reg ~buckets:Stats.Histogram.size_buckets
+          "uplink_backlog_us";
+      uplink_busy = Metrics.counter reg "uplink_busy_us_total";
+      cells = Array.init 64 (fun _ -> fresh_cell ());
+      free_stack = Array.init 64 Fun.id;
+      free_top = 64;
+      deliver_ix = ignore;
+    }
+  in
+  t.deliver_ix <- deliver_cell t;
+  t
 
 let n t = Topology.n t.topology
 let set_handler t i fn = t.handlers.(i) <- fn
@@ -136,15 +201,20 @@ let jitter_draw config ~rng ~base =
 (* [bytes]/[kind] are computed once in [send] and threaded through so the
    receive path never re-serializes the message. Every delivery is
    scheduled through an engine choice point: in ordinary runs that is an
-   exact alias of [schedule_at], while under lib/check's choice mode the
-   delivery order becomes an external scheduling decision. *)
+   exact alias of [schedule_ix_at], while under lib/check's choice mode
+   the delivery order becomes an external scheduling decision. The state
+   rides in a pooled cell, so the scheduling itself allocates nothing. *)
 let deliver t ~src ~dst ~bytes ~kind msg arrival =
-  Engine.schedule_choice_at t.engine arrival ~src ~dst ~tag:kind (fun () ->
-      Metrics.add t.bytes_received.(dst) bytes;
-      if Trace.enabled t.obs.Obs.trace then
-        Trace.emit t.obs.Obs.trace ~ts:arrival
-          (Trace.Msg_recv { src; dst; kind; bytes });
-      t.handlers.(dst) ~src msg)
+  let ix = alloc_cell t in
+  let c = t.cells.(ix) in
+  c.c_src <- src;
+  c.c_dst <- dst;
+  c.c_bytes <- bytes;
+  c.c_kind <- kind;
+  c.c_arrival <- arrival;
+  c.c_msg <- Some msg;
+  Engine.schedule_choice_ix_at t.engine arrival ~src ~dst ~tag:kind t.deliver_ix
+    ix
 
 (* The core path, with [bytes]/[kind] already priced: fan-out entry points
    compute them once per message, not once per recipient. *)

@@ -160,9 +160,10 @@ let recover t =
       Persist.wal_iter p (fun ~key ~data ->
           if String.length key > 6 && String.sub key 0 6 = "wal/b/" then
             Sailfish.replay_block c (Codec.decode_block data));
+      let compact = Config.sparse_edges t.config in
       Persist.wal_iter p (fun ~key ~data ->
           if String.length key > 6 && String.sub key 0 6 = "wal/v/" then
-            Sailfish.replay_vertex c (Codec.decode_vertex ~n data));
+            Sailfish.replay_vertex c (Codec.decode_vertex ~n ~compact data));
       Persist.wal_iter p (fun ~key ~data:_ ->
           match Scanf.sscanf_opt key "wal/p/%d" (fun r -> r) with
           | Some round -> Sailfish.note_proposed c ~round

@@ -14,11 +14,13 @@ type protocol =
   | Full
   | Single_clan of { nc : int }
   | Multi_clan of { q : int }
+  | Sparse of { k : int }
 
 let protocol_label = function
   | Full -> "sailfish"
   | Single_clan { nc } -> Printf.sprintf "single-clan(nc=%d)" nc
   | Multi_clan { q } -> Printf.sprintf "multi-clan(q=%d)" q
+  | Sparse { k } -> Printf.sprintf "sparse(k=%d)" k
 
 type spec = {
   n : int;
@@ -105,7 +107,7 @@ let mix h x =
 
 let dissemination_of spec rng =
   match spec.protocol with
-  | Full -> Config.Full
+  | Full | Sparse _ -> Config.Full
   | Single_clan { nc } ->
       let clan =
         if spec.clan_random then Analysis.elect_random rng ~n:spec.n ~nc
@@ -151,7 +153,14 @@ let run spec =
       ~rng:(Rng.split rng) ()
   in
   let keychain = Keychain.create ~seed:(Rng.next_int64 rng) ~n:spec.n in
-  let config = Config.make ~n:spec.n (dissemination_of spec rng) in
+  (* The sparse edge-selection seed derives from the run seed, so two runs
+     of one spec sample identical parent sets and stay bit-reproducible. *)
+  let edge_policy =
+    match spec.protocol with
+    | Sparse { k } -> Config.Sparse { k; seed = spec.seed }
+    | Full | Single_clan _ | Multi_clan _ -> Config.Dense
+  in
+  let config = Config.make ~n:spec.n ~edge_policy (dissemination_of spec rng) in
   let crashed = Array.make spec.n false in
   List.iter
     (fun i ->

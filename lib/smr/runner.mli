@@ -18,6 +18,11 @@ type protocol =
   | Full  (** baseline Sailfish *)
   | Single_clan of { nc : int }
   | Multi_clan of { q : int }
+  | Sparse of { k : int }
+      (** Sailfish over sparse edges ({!Clanbft_types.Config.Sparse}):
+          full dissemination, but each vertex references only the
+          structural parents plus [k] sampled ones, in the compact wire
+          form. The edge-selection seed derives from [spec.seed]. *)
 
 val protocol_label : protocol -> string
 

@@ -12,6 +12,11 @@ module W = struct
   let create () = Buffer.create 256
   let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
+  let u16 b v =
+    if v < 0 || v > 0xffff then invalid_arg "Codec: u16 out of range";
+    u8 b (v lsr 8);
+    u8 b v
+
   let u32 b v =
     if v < 0 then invalid_arg "Codec: negative u32";
     u8 b (v lsr 24);
@@ -70,6 +75,12 @@ module R = struct
     need r 1;
     let v = Char.code r.s.[r.pos] in
     r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    need r 2;
+    let v = (Char.code r.s.[r.pos] lsl 8) lor Char.code r.s.[r.pos + 1] in
+    r.pos <- r.pos + 2;
     v
 
   let u32 r =
@@ -205,28 +216,79 @@ let read_cert_opt r ~n =
   | 1 -> Some (read_cert r ~n)
   | k -> fail "bad cert option %d" k
 
+(* The compact layout (sparse-edge mode) drops what a sorted index list
+   makes redundant: strong-edge target rounds are implied (always r-1),
+   sources fit u16, edge counts fit u8. Which layout a vertex uses is a
+   protocol-level property carried by [Vertex.t.compact] on the write side
+   and by the decoder's [compact] parameter on the read side — never a
+   wire flag byte, so dense bytes are untouched. *)
 let write_vertex b ~n (v : Vertex.t) =
   W.u32 b v.round;
   W.u32 b v.source;
   W.digest b v.block_digest;
-  W.u32 b (Array.length v.strong_edges);
-  Array.iter (write_vref b) v.strong_edges;
-  W.u32 b (Array.length v.weak_edges);
-  Array.iter (write_vref b) v.weak_edges;
+  if v.compact then begin
+    W.u8 b (Array.length v.strong_edges);
+    Array.iter
+      (fun (e : Vertex.vref) ->
+        W.u16 b e.source;
+        W.digest b e.digest)
+      v.strong_edges;
+    W.u8 b (Array.length v.weak_edges);
+    Array.iter
+      (fun (e : Vertex.vref) ->
+        W.u32 b e.round;
+        W.u16 b e.source;
+        W.digest b e.digest)
+      v.weak_edges
+  end
+  else begin
+    W.u32 b (Array.length v.strong_edges);
+    Array.iter (write_vref b) v.strong_edges;
+    W.u32 b (Array.length v.weak_edges);
+    Array.iter (write_vref b) v.weak_edges
+  end;
   write_cert_opt b ~n v.nvc;
   write_cert_opt b ~n v.tc
 
-let read_vertex r ~n =
+let read_vertex r ~n ~compact =
   let round = R.u32 r in
   let source = R.u32 r in
   let block_digest = R.digest r in
-  let strong_count = R.u32 r in
-  let strong_edges = Array.init strong_count (fun _ -> read_vref r) in
-  let weak_count = R.u32 r in
-  let weak_edges = Array.init weak_count (fun _ -> read_vref r) in
+  let strong_edges, weak_edges =
+    if compact then begin
+      let strong_count = R.u8 r in
+      let strong_edges =
+        Array.init strong_count (fun _ : Vertex.vref ->
+            let source = R.u16 r in
+            let digest = R.digest r in
+            { round = round - 1; source; digest })
+      in
+      let weak_count = R.u8 r in
+      let weak_edges =
+        Array.init weak_count (fun _ : Vertex.vref ->
+            let round = R.u32 r in
+            let source = R.u16 r in
+            let digest = R.digest r in
+            { round; source; digest })
+      in
+      (strong_edges, weak_edges)
+    end
+    else begin
+      let strong_count = R.u32 r in
+      let strong_edges = Array.init strong_count (fun _ -> read_vref r) in
+      let weak_count = R.u32 r in
+      let weak_edges = Array.init weak_count (fun _ -> read_vref r) in
+      (strong_edges, weak_edges)
+    end
+  in
   let nvc = read_cert_opt r ~n in
   let tc = read_cert_opt r ~n in
-  Vertex.make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc ()
+  (* [Vertex.make] re-validates the compact invariants (ascending sorted
+     sources, u8/u16 ranges), so a malformed compact input fails here. *)
+  try
+    Vertex.make ~round ~source ~block_digest ~strong_edges ~weak_edges ~compact
+      ?nvc ?tc ()
+  with Invalid_argument m -> fail "bad vertex: %s" m
 
 let write_block_opt b = function
   | None -> W.u8 b 0
@@ -303,12 +365,12 @@ let encode ~n msg =
       W.u32 b (highest + 1));
   Buffer.contents b
 
-let decode ~n s =
+let decode ~n ?(compact = false) s =
   let r = R.create s in
   let msg =
     match R.u8 r with
     | 0 ->
-        let vertex = read_vertex r ~n in
+        let vertex = read_vertex r ~n ~compact in
         let block = read_block_opt r in
         let signature = R.signature r in
         Msg.Val { vertex; block; signature }
@@ -347,7 +409,7 @@ let decode ~n s =
         let source = R.u32 r in
         Msg.Vertex_request { round; source }
     | 9 ->
-        let vertex = read_vertex r ~n in
+        let vertex = read_vertex r ~n ~compact in
         let block = read_block_opt r in
         Msg.Vertex_reply { vertex; block }
     | 10 ->
@@ -367,9 +429,9 @@ let encode_vertex ~n v =
   write_vertex b ~n v;
   Buffer.contents b
 
-let decode_vertex ~n s =
+let decode_vertex ~n ?(compact = false) s =
   let r = R.create s in
-  let v = read_vertex r ~n in
+  let v = read_vertex r ~n ~compact in
   R.eof r;
   v
 

@@ -14,13 +14,22 @@
 exception Decode_error of string
 
 val encode : n:int -> Msg.t -> string
-val decode : n:int -> string -> Msg.t
+(** Vertices choose their own layout: a [Vertex.t] built with
+    [~compact:true] (sparse-edge mode) is written in the compact form —
+    u8 edge counts, strong edges as ascending u16 source + digest with the
+    target round implied, weak edges as (u32 round, u16 source, digest).
+    The dense layout is byte-for-byte what it always was. *)
+
+val decode : n:int -> ?compact:bool -> string -> Msg.t
 (** Raises {!Decode_error} on malformed input. Round-trips with {!encode}
-    up to signature padding (padding is stripped back to 32-byte tags). *)
+    up to signature padding (padding is stripped back to 32-byte tags).
+    [compact] (default [false]) must match the encoder's vertex layout —
+    it is a protocol-level parameter (every vertex of a sparse-mode run is
+    compact), not a wire flag, so the dense format stays unchanged. *)
 
 (** Standalone entry points used by the store and tests. *)
 
 val encode_vertex : n:int -> Vertex.t -> string
-val decode_vertex : n:int -> string -> Vertex.t
+val decode_vertex : n:int -> ?compact:bool -> string -> Vertex.t
 val encode_block : Block.t -> string
 val decode_block : string -> Block.t

@@ -3,10 +3,13 @@ type dissemination =
   | Single_clan of int array
   | Multi_clan of int array array
 
+type edge_policy = Dense | Sparse of { k : int; seed : int64 }
+
 type t = {
   n : int;
   f : int;
   dissemination : dissemination;
+  edge_policy : edge_policy;
   clans : int array array; (* [Full] -> [| all |] *)
   clan_of : int option array; (* party -> clan index *)
 }
@@ -20,11 +23,15 @@ let validate_clan ~n seen clan =
       seen.(i) <- true)
     clan
 
-let make ~n ?f dissemination =
+let make ~n ?f ?(edge_policy = Dense) dissemination =
   if n <= 0 then invalid_arg "Config: n must be positive";
   let f = match f with Some f -> f | None -> (n - 1) / 3 in
   if f < 0 || (3 * f) + 1 > n then
     invalid_arg "Config: need 0 <= f and n >= 3f+1";
+  (match edge_policy with
+  | Dense -> ()
+  | Sparse { k; _ } ->
+      if k < 1 then invalid_arg "Config: sparse k must be >= 1");
   let clans =
     match dissemination with
     | Full -> [| Array.init n (fun i -> i) |]
@@ -37,13 +44,30 @@ let make ~n ?f dissemination =
   Array.iteri
     (fun c members -> Array.iter (fun i -> clan_of.(i) <- Some c) members)
     clans;
-  { n; f; dissemination; clans; clan_of }
+  { n; f; dissemination; edge_policy; clans; clan_of }
 
 let n t = t.n
 let f t = t.f
 let quorum t = (2 * t.f) + 1
 let weak_quorum t = t.f + 1
 let dissemination t = t.dissemination
+let edge_policy t = t.edge_policy
+let sparse_edges t = t.edge_policy <> Dense
+
+(* Cap on a sparse vertex's strong parents: the k sampled parents plus the
+   three structural edges (self, previous leader, link-to-voter). *)
+let sparse_strong_cap = function
+  | Dense -> max_int
+  | Sparse { k; _ } -> k + 3
+
+(* Cap on a sparse vertex's weak edges per proposal: leftover uncovered
+   vertices wait for a later round (oldest drain first, so none starve).
+   4k keeps the drain ahead of the arrival rate at paper scale — an
+   uncapped drain commits no more than this at n = 50..150 — while still
+   bounding a vertex's wire size at O(k). *)
+let sparse_weak_cap = function
+  | Dense -> max_int
+  | Sparse { k; _ } -> max 16 (4 * k)
 let leader_of_round t round = round mod t.n
 
 let is_block_proposer t i =
@@ -97,4 +121,9 @@ let pp ppf t =
           (String.concat ","
              (Array.to_list (Array.map (fun c -> string_of_int (Array.length c)) cs)))
   in
-  Format.fprintf ppf "config(n=%d,f=%d,%s)" t.n t.f mode
+  let edges =
+    match t.edge_policy with
+    | Dense -> ""
+    | Sparse { k; _ } -> Printf.sprintf ",sparse(k=%d)" k
+  in
+  Format.fprintf ppf "config(n=%d,f=%d,%s%s)" t.n t.f mode edges

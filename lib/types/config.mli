@@ -19,11 +19,26 @@ type dissemination =
   | Single_clan of int array
   | Multi_clan of int array array
 
+(** How a proposer references the previous round — orthogonal to the
+    dissemination axis:
+
+    - {!Dense}: Fig. 4 Sailfish — strong edges to {e every} delivered
+      round-(r−1) vertex (≥ 2f+1), so per-vertex wire/codec/store cost is
+      O(n);
+    - {!Sparse}: Clownfish-style — a few structural edges (own chain,
+      previous leader, one link to a voter for the leader before that) plus
+      [k] pseudo-randomly sampled parents drawn from a deterministic,
+      seed-keyed hash, so per-vertex cost is O(k) ≈ O(log n). Commit safety
+      rests on transitive coverage through the mandatory edges instead of
+      the direct 2f+1-parent overlap (see DESIGN.md §8). *)
+type edge_policy = Dense | Sparse of { k : int; seed : int64 }
+
 type t
 
-val make : n:int -> ?f:int -> dissemination -> t
-(** [f] defaults to ⌊(n-1)/3⌋. Validates membership: ids in range, clans
-    disjoint and non-empty. Raises [Invalid_argument] otherwise. *)
+val make : n:int -> ?f:int -> ?edge_policy:edge_policy -> dissemination -> t
+(** [f] defaults to ⌊(n-1)/3⌋; [edge_policy] defaults to {!Dense}.
+    Validates membership: ids in range, clans disjoint and non-empty.
+    Raises [Invalid_argument] otherwise. *)
 
 val n : t -> int
 val f : t -> int
@@ -35,6 +50,20 @@ val weak_quorum : t -> int
 (** f+1. *)
 
 val dissemination : t -> dissemination
+
+val edge_policy : t -> edge_policy
+
+val sparse_edges : t -> bool
+(** [true] iff the edge policy is {!Sparse} — i.e. vertices use the
+    compact edge representation on the wire. *)
+
+val sparse_strong_cap : edge_policy -> int
+(** Most strong edges a valid sparse vertex may carry: [k] sampled + 3
+    structural (self, leader, link). [max_int] under {!Dense}. *)
+
+val sparse_weak_cap : edge_policy -> int
+(** Most weak edges a sparse proposal carries; the rest of the uncovered
+    set drains oldest-first across later rounds. [max_int] under {!Dense}. *)
 
 val leader_of_round : t -> int -> int
 (** Round-robin leader over the whole tribe — vertices (and hence leaders)

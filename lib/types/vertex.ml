@@ -10,6 +10,9 @@ type t = {
   weak_edges : vref array;
   nvc : Cert.t option;
   tc : Cert.t option;
+  compact : bool;
+      (* sparse-edge wire representation: strong edges as a sorted source
+         index list (round implied), u8 edge counts — see codec *)
   digest : Digest32.t;
   base_wire_size : int;
       (* wire bytes of everything but the certificates (whose size depends
@@ -42,7 +45,8 @@ let compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges ~nvc
   feed_cert "tc:" tc;
   Digest32.of_raw (Sha256.finalize ctx)
 
-let make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc () =
+let make ~round ~source ~block_digest ~strong_edges ~weak_edges
+    ?(compact = false) ?nvc ?tc () =
   if round < 0 then invalid_arg "Vertex.make: negative round";
   Array.iter
     (fun (e : vref) ->
@@ -54,6 +58,33 @@ let make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc () =
       if e.round >= round - 1 then
         invalid_arg "Vertex.make: weak edge must target round < r-1")
     weak_edges;
+  if compact then begin
+    (* The compact wire form carries u8 edge counts, u16 source indices,
+       and strictly ascending order (a sorted index list) — enforce all of
+       it at construction so encode never meets an unrepresentable
+       vertex and decode validation is [make] itself. *)
+    if Array.length strong_edges > 0xff || Array.length weak_edges > 0xff then
+      invalid_arg "Vertex.make: compact vertex with more than 255 edges";
+    Array.iteri
+      (fun i (e : vref) ->
+        if e.source < 0 || e.source > 0xffff then
+          invalid_arg "Vertex.make: compact edge source out of u16 range";
+        if i > 0 && strong_edges.(i - 1).source >= e.source then
+          invalid_arg "Vertex.make: compact strong edges must ascend by source")
+      strong_edges;
+    Array.iteri
+      (fun i (e : vref) ->
+        if e.source < 0 || e.source > 0xffff then
+          invalid_arg "Vertex.make: compact edge source out of u16 range";
+        if
+          i > 0
+          && (weak_edges.(i - 1).round, weak_edges.(i - 1).source)
+             >= (e.round, e.source)
+        then
+          invalid_arg
+            "Vertex.make: compact weak edges must ascend by (round, source)")
+      weak_edges
+  end;
   {
     round;
     source;
@@ -62,19 +93,31 @@ let make ~round ~source ~block_digest ~strong_edges ~weak_edges ?nvc ?tc () =
     weak_edges;
     nvc;
     tc;
+    compact;
     digest =
       compute_digest ~round ~source ~block_digest ~strong_edges ~weak_edges
         ~nvc ~tc;
-    (* round + source + block digest + edge counts + edges *)
     base_wire_size =
-      (4 + 4 + Digest32.size + 4
-      + (Array.length strong_edges * (4 + 4 + Digest32.size))
-      + 4
-      + (Array.length weak_edges * (4 + 4 + Digest32.size)));
+      (if compact then
+         (* round + source + block digest + u8 counts + compact edges:
+            strong = u16 source + digest (round implied r-1),
+            weak = u32 round + u16 source + digest *)
+         4 + 4 + Digest32.size + 1
+         + (Array.length strong_edges * (2 + Digest32.size))
+         + 1
+         + (Array.length weak_edges * (4 + 2 + Digest32.size))
+       else
+         (* round + source + block digest + edge counts + edges *)
+         4 + 4 + Digest32.size + 4
+         + (Array.length strong_edges * (4 + 4 + Digest32.size))
+         + 4
+         + (Array.length weak_edges * (4 + 4 + Digest32.size)));
   }
 
 let ref_of t = { round = t.round; source = t.source; digest = t.digest }
 let vref_wire_size = 4 + 4 + Digest32.size
+let compact_strong_wire_size = 2 + Digest32.size
+let compact_weak_wire_size = 4 + 2 + Digest32.size
 let edge_count t = Array.length t.strong_edges + Array.length t.weak_edges
 
 (* Index-based edge traversal: strong edges first, then weak — the same

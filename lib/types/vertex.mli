@@ -21,6 +21,7 @@ type t = private {
   weak_edges : vref array;  (** references into rounds < [round - 1] *)
   nvc : Cert.t option;  (** no-vote certificate for [round - 1], if any *)
   tc : Cert.t option;  (** timeout certificate for [round - 1], if any *)
+  compact : bool;  (** sparse-mode compact wire representation *)
   digest : Digest32.t;  (** hash of this vertex (cached) *)
   base_wire_size : int;  (** cached wire bytes excluding certificates *)
 }
@@ -31,16 +32,31 @@ val make :
   block_digest:Digest32.t ->
   strong_edges:vref array ->
   weak_edges:vref array ->
+  ?compact:bool ->
   ?nvc:Cert.t ->
   ?tc:Cert.t ->
   unit ->
   t
+(** [compact] (default [false]) selects the sparse-edge wire form: u8 edge
+    counts, strong edges as a sorted u16 source-index list (target round
+    implied, 34 B/edge instead of 40), weak edges as (round, u16 source,
+    digest) sorted by (round, source). Compact construction additionally
+    validates the sort order and the u8/u16 ranges, so the codec never
+    meets an unrepresentable vertex. The content digest is representation
+    independent: a compact vertex and a dense vertex with identical fields
+    share one digest. *)
 
 val ref_of : t -> vref
 (** The reference other vertices use to point at this one. *)
 
 val vref_wire_size : int
-(** Bytes per edge: round + source + digest. *)
+(** Bytes per dense edge: round + source + digest. *)
+
+val compact_strong_wire_size : int
+(** Bytes per compact strong edge: u16 source + digest (round implied). *)
+
+val compact_weak_wire_size : int
+(** Bytes per compact weak edge: round + u16 source + digest. *)
 
 val edge_count : t -> int
 (** Total parent references: strong + weak. *)

@@ -174,6 +174,24 @@ let test_sailfish_walks () =
   (* Sailfish generates rounds forever; every walk hits the depth cap. *)
   Alcotest.(check int) "all truncated" 5 r.E.stats.E.truncated
 
+let test_sailfish_sparse_walks () =
+  (* Same walk harness over sparse edges: vertices carry the sampled-parent
+     set instead of all 2f+1, and the commit invariants must hold anyway. *)
+  let spec =
+    { H.default_spec with H.model = H.Sailfish; rounds = 4; sparse_k = Some 2 }
+  in
+  let r = E.walks ~max_actions:250 ~seed:7L ~count:5 spec in
+  Alcotest.(check bool) "no violation" true (r.E.violation = None);
+  Alcotest.(check int) "all truncated" 5 r.E.stats.E.truncated
+
+let test_sparse_spec_meta_round_trip () =
+  let spec =
+    { H.default_spec with H.model = H.Sailfish; rounds = 3; sparse_k = Some 3 }
+  in
+  match H.spec_of_meta (H.spec_meta spec) with
+  | Error e -> Alcotest.failf "spec_of_meta: %s" e
+  | Ok spec' -> Alcotest.(check bool) "sparse spec round-trips" true (spec = spec')
+
 let test_dpor_prunes () =
   (* Sleep sets must only remove redundant interleavings: same verdict,
      strictly fewer transitions than the unpruned search. *)
@@ -199,6 +217,8 @@ let suites =
         Alcotest.test_case "save/load round-trip" `Quick test_schedule_round_trip;
         Alcotest.test_case "corrupt line rejected" `Quick test_schedule_bad_line;
         Alcotest.test_case "spec meta round-trip" `Quick test_spec_meta_round_trip;
+        Alcotest.test_case "sparse spec meta round-trip" `Quick
+          test_sparse_spec_meta_round_trip;
       ] );
     ( "check.explore",
       [
@@ -210,6 +230,8 @@ let suites =
         Alcotest.test_case "late join keeps totality" `Quick test_late_join_totality;
         Alcotest.test_case "crash/recover schedules safe" `Quick test_crash_budget;
         Alcotest.test_case "sailfish walks stay consistent" `Quick test_sailfish_walks;
+        Alcotest.test_case "sparse sailfish walks stay consistent" `Quick
+          test_sailfish_sparse_walks;
         Alcotest.test_case "sleep sets prune soundly" `Quick test_dpor_prunes;
       ] );
   ]

@@ -412,6 +412,71 @@ let test_runner_with_fault_plan () =
   Alcotest.(check bool) "agreement holds" true r.agreement;
   Alcotest.(check bool) "commits after healing" true (r.committed_txns > 0)
 
+(* Sparse edges keep agreement under the same fault DSL: the leader of a
+   few rounds is muted and a partition splits the network for a second.
+   Sparse vertices carry O(k) parents, so this also checks the coverage
+   rule (leader + link + sampled edges) holds up when the picked parents
+   are the ones being disrupted. *)
+let test_runner_sparse_with_fault_plan () =
+  let plan =
+    plan_exn
+      ~mutes:[ "1:round=5" ]
+      ~partitions:[ "0,1,2,3,4|5,6,7,8,9:until=1s" ] ()
+  in
+  let r =
+    Runner.run
+      {
+        Runner.default_spec with
+        n = 10;
+        protocol = Runner.Sparse { k = 3 };
+        duration = Time.s 6.;
+        warmup = Time.s 3.;
+        txns_per_proposal = 100;
+        txn_scale = 10;
+        topology = `Uniform 10.0;
+        fault_plan = plan;
+      }
+  in
+  Alcotest.(check bool) "agreement holds" true r.agreement;
+  Alcotest.(check bool) "commits after healing" true (r.committed_txns > 0)
+
+(* A mid-run partition leaves the faulted sparse run event-identical to the
+   benign one until the split fires, so every commit made before [from=]
+   must land in both chained-hash vectors: a non-trivial common prefix. *)
+let test_runner_sparse_fault_commit_prefix () =
+  let spec plan =
+    {
+      Runner.default_spec with
+      n = 10;
+      protocol = Runner.Sparse { k = 3 };
+      duration = Time.s 8.;
+      warmup = Time.s 2.;
+      txns_per_proposal = 100;
+      txn_scale = 10;
+      topology = `Uniform 10.0;
+      fault_plan = plan;
+    }
+  in
+  let benign = Runner.run (spec Faults.empty) in
+  let faulted =
+    Runner.run
+      (spec (plan_exn ~partitions:[ "0,1,2,3,4|5,6,7,8,9:from=4s:until=5s" ] ()))
+  in
+  Alcotest.(check bool) "benign agrees" true benign.agreement;
+  Alcotest.(check bool) "faulted agrees" true faulted.agreement;
+  let a = benign.commit_chain and b = faulted.commit_chain in
+  let k = min (Array.length a) (Array.length b) in
+  let common = ref 0 in
+  (try
+     for i = 0 to k - 1 do
+       if a.(i) = b.(i) then incr common else raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "common commit prefix (%d of %d/%d)" !common
+       (Array.length a) (Array.length b))
+    true (!common > 0)
+
 (* Installing an empty-plan injector is the caller's job to avoid; the
    Runner skips it entirely, so benign specs consume no extra RNG draws
    and produce bit-identical results with and without the faults field. *)
@@ -485,5 +550,9 @@ let suites =
       [
         Alcotest.test_case "partition + loss: agree and commit" `Quick
           test_runner_with_fault_plan;
+        Alcotest.test_case "sparse: muted leader + partition" `Slow
+          test_runner_sparse_with_fault_plan;
+        Alcotest.test_case "sparse: faulted chain is a prefix" `Slow
+          test_runner_sparse_fault_commit_prefix;
       ] );
   ]

@@ -301,6 +301,28 @@ let test_recovery_snapshot_join () =
         true (c > 0)
   | _ -> Alcotest.fail "expected exactly one restart entry"
 
+let test_recovery_sparse () =
+  (* Crash-recovery over sparse edges: the recovering replica must rebuild a
+     DAG whose vertices carry only O(k) parents, so reconnection goes through
+     the transitive-coverage rule rather than a dense 2f+1 parent set. *)
+  let r =
+    Runner.run
+      {
+        recovery_spec with
+        n = 10;
+        protocol = Runner.Sparse { k = 3 };
+        restarts =
+          [ { Faults.node = 3; crash_at = Time.s 4.; recover_at = Time.s 8. } ];
+      }
+  in
+  Alcotest.(check bool) "agreement" true r.agreement;
+  match r.post_recovery_commits with
+  | [ (3, c) ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "recovered replica commits again (%d)" c)
+        true (c > 0)
+  | _ -> Alcotest.fail "expected exactly one restart entry"
+
 let test_recovery_during_partition () =
   (* The replica recovers while still cut off from every peer: sync requests
      go nowhere until the partition heals at 6 s, exercising the capped
@@ -390,5 +412,6 @@ let suites =
         Alcotest.test_case "prefix vs benign run" `Slow test_recovery_prefix_vs_benign;
         Alcotest.test_case "snapshot join past GC" `Slow test_recovery_snapshot_join;
         Alcotest.test_case "restart during partition" `Slow test_recovery_during_partition;
+        Alcotest.test_case "sparse crash and recover" `Slow test_recovery_sparse;
       ] );
   ]

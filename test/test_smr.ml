@@ -328,6 +328,40 @@ let test_runner_multi_clan () =
   Alcotest.(check bool) "agreement" true r.agreement;
   Alcotest.(check bool) "throughput > 0" true (r.throughput_ktps > 0.0)
 
+let test_runner_sparse () =
+  let r = Runner.run { base_spec with protocol = Runner.Sparse { k = 3 } } in
+  Alcotest.(check bool) "agreement" true r.agreement;
+  Alcotest.(check bool) "throughput > 0" true (r.throughput_ktps > 0.0);
+  Alcotest.(check bool) "rounds advanced" true (r.rounds > 10);
+  (* Sparse shares the dissemination path with Full, so at n=10 the
+     only traffic saved is edge metadata — but it must save some. *)
+  let full = Runner.run { base_spec with protocol = Runner.Full } in
+  Alcotest.(check bool) "fewer bytes than dense" true
+    (r.bytes_total < full.bytes_total)
+
+let test_runner_sparse_all_parents_matches_dense () =
+  (* With k >= n the sparse selector keeps every available parent, so the
+     DAG (and hence the commit order) must match the dense run's. The
+     jitter-free uniform network keeps the two runs' round pacing in
+     lockstep despite the compact form's smaller vertices. *)
+  let spec =
+    {
+      base_spec with
+      net = { Net.default_config with jitter = 0.0 };
+      duration = Time.s 5.;
+    }
+  in
+  let dense = Runner.run { spec with protocol = Runner.Full } in
+  let sparse = Runner.run { spec with protocol = Runner.Sparse { k = spec.n } } in
+  Alcotest.(check bool) "both agree" true (dense.agreement && sparse.agreement);
+  let len =
+    min (Array.length dense.commit_chain) (Array.length sparse.commit_chain)
+  in
+  Alcotest.(check bool) "committed something" true (len > 0);
+  Alcotest.(check int) "common commit prefix"
+    dense.commit_chain.(len - 1)
+    sparse.commit_chain.(len - 1)
+
 let test_runner_crash_faults () =
   let r = Runner.run { base_spec with crashed = [ 1; 4; 7 ]; duration = Time.s 8. } in
   Alcotest.(check bool) "progress with f crashes" true (r.committed_txns > 0);
@@ -415,6 +449,9 @@ let suites =
         Alcotest.test_case "full protocol" `Slow test_runner_full;
         Alcotest.test_case "single-clan traffic" `Slow test_runner_single_clan_less_traffic;
         Alcotest.test_case "multi-clan" `Slow test_runner_multi_clan;
+        Alcotest.test_case "sparse edges" `Slow test_runner_sparse;
+        Alcotest.test_case "sparse k=all == dense" `Slow
+          test_runner_sparse_all_parents_matches_dense;
         Alcotest.test_case "crash faults" `Slow test_runner_crash_faults;
         Alcotest.test_case "topology matters" `Slow test_runner_topology_matters;
         Alcotest.test_case "deterministic" `Slow test_runner_deterministic;

@@ -51,6 +51,27 @@ let test_config_leader_rotation () =
   Alcotest.(check int) "round 0" 0 (Config.leader_of_round c 0);
   Alcotest.(check int) "round 8" 1 (Config.leader_of_round c 8)
 
+let test_config_sparse () =
+  let p = Config.Sparse { k = 3; seed = 1L } in
+  let c = Config.make ~n:16 ~edge_policy:p Config.Full in
+  Alcotest.(check bool) "sparse_edges" true (Config.sparse_edges c);
+  Alcotest.(check bool) "dense by default" false
+    (Config.sparse_edges (Config.make ~n:16 Config.Full));
+  (* self + leader + link + k sampled = k + 3 strong edges at most *)
+  Alcotest.(check int) "strong cap" 6 (Config.sparse_strong_cap p);
+  Alcotest.(check int) "weak cap floor" 16 (Config.sparse_weak_cap p);
+  Alcotest.(check int) "weak cap tracks k" 36
+    (Config.sparse_weak_cap (Config.Sparse { k = 9; seed = 0L }));
+  Alcotest.(check bool) "dense caps unbounded" true
+    (Config.sparse_strong_cap Config.Dense = max_int
+    && Config.sparse_weak_cap Config.Dense = max_int);
+  Alcotest.check_raises "k must be positive"
+    (Invalid_argument "Config: sparse k must be >= 1") (fun () ->
+      ignore
+        (Config.make ~n:16
+           ~edge_policy:(Config.Sparse { k = 0; seed = 1L })
+           Config.Full))
+
 let test_config_validation () =
   Alcotest.check_raises "overlapping clans" (Invalid_argument "Config: clans must be disjoint")
     (fun () ->
@@ -129,6 +150,48 @@ let test_vertex_strong_edge_query () =
   Alcotest.(check bool) "has edge" true (Vertex.has_strong_edge_to v ~round:2 ~source:4);
   Alcotest.(check bool) "no edge" false (Vertex.has_strong_edge_to v ~round:2 ~source:3);
   Alcotest.(check bool) "wrong round" false (Vertex.has_strong_edge_to v ~round:1 ~source:0)
+
+let test_vertex_compact_form () =
+  let strong = [| vref_of_slot 2 0; vref_of_slot 2 3; vref_of_slot 2 7 |] in
+  let weak = [| vref_of_slot 0 6; vref_of_slot 1 5 |] in
+  let mk compact =
+    Vertex.make ~round:3 ~source:2 ~block_digest:Digest32.zero
+      ~strong_edges:strong ~weak_edges:weak ~compact ()
+  in
+  let dense = mk false and compact = mk true in
+  Alcotest.(check bool) "compact strictly smaller on the wire" true
+    (Vertex.wire_size ~n:16 compact < Vertex.wire_size ~n:16 dense);
+  (* The content digest names the vertex, not its encoding: both
+     representations of the same fields share one identity. *)
+  Alcotest.(check bool) "digest representation-independent" true
+    (Digest32.equal dense.Vertex.digest compact.Vertex.digest);
+  let enc = Codec.encode_vertex ~n:16 compact in
+  Alcotest.(check int) "wire_size = encode length"
+    (Vertex.wire_size ~n:16 compact)
+    (String.length enc);
+  let v' = Codec.decode_vertex ~n:16 ~compact:true enc in
+  Alcotest.(check bool) "round-trip digest" true
+    (Digest32.equal compact.Vertex.digest v'.Vertex.digest);
+  Alcotest.(check bool) "round-trip stays compact" true v'.Vertex.compact;
+  Alcotest.(check string) "re-encode byte-identical" enc
+    (Codec.encode_vertex ~n:16 v')
+
+let test_vertex_compact_validation () =
+  Alcotest.check_raises "unsorted strong edges"
+    (Invalid_argument "Vertex.make: compact strong edges must ascend by source")
+    (fun () ->
+      ignore
+        (Vertex.make ~round:3 ~source:0 ~block_digest:Digest32.zero
+           ~strong_edges:[| vref_of_slot 2 4; vref_of_slot 2 1 |]
+           ~weak_edges:[||] ~compact:true ()));
+  Alcotest.check_raises "unsorted weak edges"
+    (Invalid_argument "Vertex.make: compact weak edges must ascend by (round, source)")
+    (fun () ->
+      ignore
+        (Vertex.make ~round:3 ~source:0 ~block_digest:Digest32.zero
+           ~strong_edges:[||]
+           ~weak_edges:[| vref_of_slot 1 5; vref_of_slot 0 2 |]
+           ~compact:true ()))
 
 let test_vertex_id_order () =
   Alcotest.(check bool) "round first" true (Vertex.Id.compare (1, 9) (2, 0) < 0);
@@ -222,6 +285,35 @@ let test_codec_rejects_garbage () =
     | exception Codec.Decode_error _ -> true
     | _ -> false)
 
+let test_codec_compact_val_roundtrip () =
+  let v =
+    Vertex.make ~round:3 ~source:2 ~block_digest:(Block.digest sample_block)
+      ~strong_edges:[| vref_of_slot 2 0; vref_of_slot 2 1 |]
+      ~weak_edges:[| vref_of_slot 1 5 |] ~compact:true ()
+  in
+  let sg = Keychain.sign kc ~signer:2 "sig" in
+  let m = Msg.Val { vertex = v; block = Some sample_block; signature = sg } in
+  let enc = Codec.encode ~n:16 m in
+  Alcotest.(check int) "wire_size = encode length" (Msg.wire_size ~n:16 m)
+    (String.length enc);
+  let dec = Codec.decode ~n:16 ~compact:true enc in
+  Alcotest.(check string) "roundtrip" enc (Codec.encode ~n:16 dec);
+  (* A compact VAL is strictly smaller than the dense encoding of the
+     same vertex. *)
+  let dense =
+    Msg.Val
+      {
+        vertex =
+          Vertex.make ~round:3 ~source:2 ~block_digest:(Block.digest sample_block)
+            ~strong_edges:[| vref_of_slot 2 0; vref_of_slot 2 1 |]
+            ~weak_edges:[| vref_of_slot 1 5 |] ();
+        block = Some sample_block;
+        signature = sg;
+      }
+  in
+  Alcotest.(check bool) "compact < dense" true
+    (Msg.wire_size ~n:16 m < Msg.wire_size ~n:16 dense)
+
 let test_vertex_block_codec_roundtrip () =
   let v = sample_vertex ~tc:true () in
   let v' = Codec.decode_vertex ~n:16 (Codec.encode_vertex ~n:16 v) in
@@ -251,6 +343,7 @@ let suites =
         Alcotest.test_case "single clan" `Quick test_config_single_clan;
         Alcotest.test_case "multi clan" `Quick test_config_multi_clan;
         Alcotest.test_case "leader rotation" `Quick test_config_leader_rotation;
+        Alcotest.test_case "sparse policy" `Quick test_config_sparse;
         Alcotest.test_case "validation" `Quick test_config_validation;
       ] );
     ( "types.block",
@@ -264,6 +357,8 @@ let suites =
         Alcotest.test_case "edge validation" `Quick test_vertex_edge_validation;
         Alcotest.test_case "digest sensitivity" `Quick test_vertex_digest_sensitivity;
         Alcotest.test_case "strong edge query" `Quick test_vertex_strong_edge_query;
+        Alcotest.test_case "compact form" `Quick test_vertex_compact_form;
+        Alcotest.test_case "compact validation" `Quick test_vertex_compact_validation;
         Alcotest.test_case "id order" `Quick test_vertex_id_order;
       ] );
     ( "types.cert",
@@ -277,6 +372,7 @@ let suites =
         Alcotest.test_case "wire_size = encode length" `Quick test_wire_size_matches_codec;
         Alcotest.test_case "roundtrip all messages" `Quick test_codec_roundtrip;
         Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "compact VAL roundtrip" `Quick test_codec_compact_val_roundtrip;
         Alcotest.test_case "vertex/block standalone" `Quick test_vertex_block_codec_roundtrip;
         qtest prop_codec_block_roundtrip;
       ] );
