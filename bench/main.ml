@@ -22,7 +22,7 @@
    Sections can be selected on the command line:
      dune exec bench/main.exe -- [--jobs N] [--paper-scale] table1 fig1 \
        concrete fig5a fig5b fig5c fig6 paper-scale ablation-latency \
-       ablation-rbc faults recovery metrics micro analysis perf
+       ablation-rbc faults recovery metrics micro analysis attacks perf
 
    --paper-scale (or CLANBFT_PAPER_SCALE=1) unlocks the n=150 work: the
    paper-scale sweep section and the n=150 perf-baseline entry. *)
@@ -931,6 +931,139 @@ let analysis () =
         (List.length rep.Analyze.stalls))
     (Lazy.force analysis_rows)
 
+(* ------------------------------------------------------------------ *)
+(* Attack corpus — every Strategy kind against three protocol shapes
+   (dense Sailfish, sparse edges, single-clan tribe), with a benign
+   same-seed baseline per shape so the degradation ratios isolate the
+   attack. Lazy and shared: the [attacks] section prints the table, the
+   BENCH_sim.json writer embeds the rows, the runs happen once. *)
+
+let attack_protocols =
+  [
+    ("dense", Runner.Full);
+    ("sparse", Runner.Sparse { k = 3 });
+    ("tribe", Runner.Single_clan { nc = 11 });
+  ]
+
+(* Name, DSL spec(s), and whether the run needs a crash–recovery victim
+   (sync_storm preys on a recovering replica's state sync). Node 3 is a
+   clan member under every shape (balanced election takes ids 0..nc-1),
+   so the same adversary id works across the corpus. *)
+let attack_corpus =
+  [
+    ("equivocate", [ "3@equivocate" ], false);
+    ("censor", [ "3@censor:0" ], false);
+    ("grief", [ "3@grief:0.8" ], false);
+    ("sync_storm", [ "2@storm:16" ], true);
+    ("reorder", [ "3@reorder:2ms" ], false);
+  ]
+
+let attack_restart =
+  [ { Faults.node = 5; crash_at = Time.s 1.5; recover_at = Time.s 2.5 } ]
+
+(* Benign baselines come in two flavours: plain, and with the same
+   restart schedule the sync_storm run carries — so the storm's ratio
+   measures the amplification, not the crash. *)
+let attack_baseline_of restart = if restart then "benign+restart" else "benign"
+
+let attack_spec ~proto_name ~protocol ~restart adversaries =
+  let adversaries =
+    match Strategy.of_specs adversaries with
+    | Ok l -> l
+    | Error e -> failwith e
+  in
+  {
+    Runner.default_spec with
+    n = 16;
+    protocol;
+    txns_per_proposal = 200;
+    duration = Time.s 4.;
+    warmup = Time.s 1.;
+    seed = point_seed ("attacks-" ^ proto_name);
+    adversaries;
+    restarts = (if restart then attack_restart else []);
+  }
+
+type attack_cell = {
+  ac_attack : string;
+  ac_protocol : string;
+  ac_result : Runner.result;
+  ac_base : Runner.result option;  (** [None] on the baseline rows *)
+}
+
+let attack_rows =
+  lazy
+    (let specs =
+       List.concat_map
+         (fun (pname, protocol) ->
+           let mk = attack_spec ~proto_name:pname ~protocol in
+           ("benign", pname, mk ~restart:false [])
+           :: ("benign+restart", pname, mk ~restart:true [])
+           :: List.map
+                (fun (aname, dsl, restart) -> (aname, pname, mk ~restart dsl))
+                attack_corpus)
+         attack_protocols
+     in
+     let results, secs =
+       wall (fun () ->
+           Runner.run_many ~pool:(Lazy.force pool)
+             (Array.of_list (List.map (fun (_, _, s) -> s) specs)))
+     in
+     progress "  attack corpus: %d runs, %.0fs wall\n" (Array.length results)
+       secs;
+     let tagged = List.mapi (fun i (a, p, _) -> (a, p, results.(i))) specs in
+     let baseline name pname =
+       List.find_map
+         (fun (a, p, r) -> if a = name && p = pname then Some r else None)
+         tagged
+     in
+     List.map
+       (fun (aname, pname, r) ->
+         let base =
+           match
+             List.find_opt (fun (a, _, _) -> a = aname) attack_corpus
+           with
+           | Some (_, _, restart) -> baseline (attack_baseline_of restart) pname
+           | None -> None
+         in
+         { ac_attack = aname; ac_protocol = pname; ac_result = r; ac_base = base })
+       tagged)
+
+let attacks () =
+  section_header
+    "Attack corpus — strategic adversaries vs benign same-seed baselines (n=16)";
+  Printf.printf "  %-8s %-15s %8s %8s %8s %6s %6s %6s %6s\n" "protocol"
+    "attack" "kTPS" "p50 ms" "p99 ms" "tput x" "p50 x" "p99 x" "agree";
+  let ratio a b = a /. b in
+  List.iter
+    (fun c ->
+      let r = c.ac_result in
+      (match c.ac_base with
+      | None ->
+          Printf.printf "  %-8s %-15s %8.1f %8.1f %8.1f %6s %6s %6s %6b\n"
+            c.ac_protocol c.ac_attack r.Runner.throughput_ktps
+            r.Runner.latency_p50_ms r.Runner.latency_p99_ms "-" "-" "-"
+            r.Runner.agreement
+      | Some b ->
+          Printf.printf "  %-8s %-15s %8.1f %8.1f %8.1f %6.2f %6.2f %6.2f %6b\n"
+            c.ac_protocol c.ac_attack r.Runner.throughput_ktps
+            r.Runner.latency_p50_ms r.Runner.latency_p99_ms
+            (ratio r.Runner.throughput_ktps b.Runner.throughput_ktps)
+            (ratio r.Runner.latency_p50_ms b.Runner.latency_p50_ms)
+            (ratio r.Runner.latency_p99_ms b.Runner.latency_p99_ms)
+            r.Runner.agreement);
+      if not r.Runner.agreement then begin
+        Printf.eprintf "  AGREEMENT VIOLATED under %s/%s\n" c.ac_protocol
+          c.ac_attack;
+        exit 1
+      end;
+      if r.Runner.committed_txns = 0 then begin
+        Printf.eprintf "  LIVENESS LOST under %s/%s\n" c.ac_protocol
+          c.ac_attack;
+        exit 1
+      end)
+    (Lazy.force attack_rows)
+
 (* ops/sec of [f] measured over at least [min_time] seconds, calling [f]
    in batches of [batch] between clock reads. *)
 let ops_per_s ?(min_time = 0.3) ?(batch = 100) f =
@@ -1155,7 +1288,49 @@ let perf () =
   Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"analysis\": {\n";
   Buffer.add_string b (String.concat ",\n" analysis_json);
-  Buffer.add_string b "\n  }\n}\n";
+  Buffer.add_string b "\n  },\n";
+  let attack_cells = Lazy.force attack_rows in
+  Buffer.add_string b "  \"attacks\": [\n";
+  List.iteri
+    (fun i c ->
+      let r = c.ac_result in
+      let ratios =
+        match c.ac_base with
+        | None -> []
+        | Some base ->
+            [
+              Printf.sprintf "\"tput_ratio\": %s"
+                (json_float
+                   (r.Runner.throughput_ktps /. base.Runner.throughput_ktps));
+              Printf.sprintf "\"p50_ratio\": %s"
+                (json_float
+                   (r.Runner.latency_p50_ms /. base.Runner.latency_p50_ms));
+              Printf.sprintf "\"p99_ratio\": %s"
+                (json_float
+                   (r.Runner.latency_p99_ms /. base.Runner.latency_p99_ms));
+            ]
+      in
+      Buffer.add_string b "    {";
+      Buffer.add_string b
+        (String.concat ", "
+           ([
+              Printf.sprintf "\"attack\": \"%s\"" (json_escape c.ac_attack);
+              Printf.sprintf "\"protocol\": \"%s\"" (json_escape c.ac_protocol);
+              Printf.sprintf "\"throughput_ktps\": %s"
+                (json_float r.Runner.throughput_ktps);
+              Printf.sprintf "\"p50_ms\": %s" (json_float r.Runner.latency_p50_ms);
+              Printf.sprintf "\"p99_ms\": %s" (json_float r.Runner.latency_p99_ms);
+            ]
+           @ ratios
+           @ [
+               Printf.sprintf "\"agreement\": %b" r.Runner.agreement;
+               Printf.sprintf "\"commit_fingerprint\": \"%#x\""
+                 r.Runner.commit_fingerprint;
+             ]));
+      Buffer.add_string b
+        (if i = List.length attack_cells - 1 then "}\n" else "},\n"))
+    attack_cells;
+  Buffer.add_string b "  ]\n}\n";
   let oc = open_out bench_sim_json in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -1180,6 +1355,7 @@ let sections =
     ("metrics", metrics);
     ("micro", micro);
     ("analysis", analysis);
+    ("attacks", attacks);
     ("perf", perf);
   ]
 

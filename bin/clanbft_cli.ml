@@ -80,10 +80,30 @@ let restarts_flag =
             Stdlib.exit 2)
     $ restarts)
 
+let adversaries_flag =
+  let advs =
+    Arg.(value & opt_all string []
+         & info [ "adversary" ]
+             ~doc:"Strategic adversary occupying a node for the whole run, \
+                   $(b,NODE\\@STRATEGY[:ARG]): $(b,3\\@equivocate), \
+                   $(b,3\\@censor:5) (censor node 5), $(b,3\\@grief:0.8) \
+                   (proposals ride at 0.8 x round_timeout), $(b,3\\@storm:32) \
+                   (sync-request amplification) or $(b,3\\@reorder:2ms). \
+                   Repeatable; see docs/ATTACKS.md.")
+  in
+  Term.(
+    const (fun specs ->
+        match Strategy.of_specs specs with
+        | Ok a -> a
+        | Error e ->
+            Printf.eprintf "bad adversary spec: %s\n" e;
+            Stdlib.exit 2)
+    $ advs)
+
 let sim_cmd =
   let run n protocol nc q sparse_k load size duration warmup seed uniform
-      crashed fault_plan restarts persist trace trace_chrome metrics_out
-      verbose =
+      crashed fault_plan restarts adversaries persist trace trace_chrome
+      metrics_out verbose =
     if verbose then begin
       Logs.set_reporter (Logs_fmt.reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -107,6 +127,14 @@ let sim_cmd =
       | `Multi -> Runner.Multi_clan { q }
       | `Sparse -> Runner.Sparse { k = sparse_k }
     in
+    List.iter
+      (fun (s : Strategy.spec) ->
+        if s.node >= n then begin
+          Printf.eprintf "bad adversary spec: node %d out of range for n=%d\n"
+            s.node n;
+          Stdlib.exit 2
+        end)
+      adversaries;
     let run_with obs =
       Runner.run
         {
@@ -122,6 +150,7 @@ let sim_cmd =
           crashed;
           fault_plan;
           restarts;
+          adversaries;
           persist;
           obs;
         }
@@ -148,13 +177,15 @@ let sim_cmd =
       "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
       r.committed_txns r.rounds r.leaders_committed
       (float_of_int r.bytes_total /. 1e6);
-    if restarts <> [] then begin
+    (* Recovery and attack runs print the fingerprint: the CI determinism
+       and agreement gates key on it. *)
+    if restarts <> [] || adversaries <> [] then
       Format.printf "commit fingerprint: %d@." r.commit_fingerprint;
+    if restarts <> [] then
       List.iter
         (fun (node, commits) ->
           Format.printf "post-recovery commits [replica %d]: %d@." node commits)
-        r.post_recovery_commits
-    end;
+        r.post_recovery_commits;
     (match obs with
     | None -> ()
     | Some o ->
@@ -236,7 +267,8 @@ let sim_cmd =
     Term.(
       const run $ n $ protocol $ nc $ q $ sparse_k $ load $ size $ duration
       $ warmup $ seed $ uniform $ crashed $ fault_flags $ restarts_flag
-      $ persist $ trace $ trace_chrome $ metrics_out $ verbose)
+      $ adversaries_flag $ persist $ trace $ trace_chrome $ metrics_out
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* clan-size *)
@@ -583,8 +615,14 @@ let check_cmd =
         | "none" -> H.No_adversary
         | "equivocate" -> H.Equivocate
         | "collude" -> H.Collude
-        | _ -> fail2 "adversary: none | equivocate | collude"
+        | "grief" -> H.Grief
+        | _ -> fail2 "adversary: none | equivocate | collude | grief"
       in
+      (match (model, adversary) with
+      | H.Rbc _, H.Grief -> fail2 "adversary grief needs --model sailfish"
+      | H.Sailfish, (H.Equivocate | H.Collude) ->
+          fail2 "the sailfish model takes adversary none or grief"
+      | _ -> ());
       { H.model; n; rounds; adversary; late_join; crashes; sparse_k }
     in
     let model_name spec = List.assoc "model" (H.spec_meta spec) in
@@ -694,7 +732,8 @@ let check_cmd =
     Arg.(value & opt string "none"
          & info [ "adversary" ]
              ~doc:"$(b,none) | $(b,equivocate) (1 fault, must stay safe) | \
-                   $(b,collude) (2 faults vs f=1, must be caught).")
+                   $(b,collude) (2 faults vs f=1, must be caught) | \
+                   $(b,grief) (timeout-edge proposal delay; Sailfish model).")
   in
   let late_join =
     Arg.(value & flag

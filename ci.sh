@@ -108,6 +108,111 @@ fi
 echo "sparse n=16 committed $sp_txns txns, deterministic"
 rm -rf "$smoke_dir"
 
+echo "== attack corpus (every strategy at n=16, deterministic, stalls attributed) =="
+# Every Strategy kind runs twice from the same seed: the stdouts (which
+# carry the commit fingerprint) must be byte-identical and agreement must
+# hold. The grief run is traced and fed to the analyzer, which must pin
+# every stall on the griefing leader — the misattribution regression gate.
+smoke_dir=$(mktemp -d)
+attack_sim() {
+  out=$1
+  shift
+  timeout 60 dune exec bin/clanbft_cli.exe -- sim -n 16 -p single-clan \
+    --load 200 --duration 4 --warmup 1 --seed 7 "$@" >"$out" 2>/dev/null
+}
+for atk in 3@equivocate 3@censor:0 3@grief:0.8 3@reorder:2ms; do
+  attack_sim "$smoke_dir/a1" --adversary "$atk" || {
+    echo "attack run $atk failed or exceeded its 60 s wall cap"
+    exit 1
+  }
+  attack_sim "$smoke_dir/a2" --adversary "$atk" || {
+    echo "second attack run $atk failed"
+    exit 1
+  }
+  if ! cmp -s "$smoke_dir/a1" "$smoke_dir/a2"; then
+    echo "attack run $atk differs between two same-seed runs"
+    diff "$smoke_dir/a1" "$smoke_dir/a2" || true
+    exit 1
+  fi
+  grep -q "agree=true" "$smoke_dir/a1" || {
+    echo "agreement lost under $atk"
+    cat "$smoke_dir/a1"
+    exit 1
+  }
+  grep -q "commit fingerprint: " "$smoke_dir/a1" || {
+    echo "attack run $atk printed no commit fingerprint"
+    exit 1
+  }
+  echo "  $atk: deterministic, agreement holds"
+done
+# sync_storm preys on a recovering replica, so its run carries a restart;
+# the victim must still make post-recovery progress under the amplification.
+attack_sim "$smoke_dir/s1" --adversary 2@storm:16 --restart 5@1500ms:2500ms || {
+  echo "sync_storm run failed or exceeded its 60 s wall cap"
+  exit 1
+}
+attack_sim "$smoke_dir/s2" --adversary 2@storm:16 --restart 5@1500ms:2500ms || {
+  echo "second sync_storm run failed"
+  exit 1
+}
+if ! cmp -s "$smoke_dir/s1" "$smoke_dir/s2"; then
+  echo "sync_storm run differs between two same-seed runs"
+  diff "$smoke_dir/s1" "$smoke_dir/s2" || true
+  exit 1
+fi
+grep -q "agree=true" "$smoke_dir/s1" || {
+  echo "agreement lost under sync_storm"
+  cat "$smoke_dir/s1"
+  exit 1
+}
+storm_commits=$(awk -F': ' '/post-recovery commits \[replica 5\]/ { print $2 }' "$smoke_dir/s1")
+if [ -z "$storm_commits" ] || [ "$storm_commits" -le 0 ]; then
+  echo "sync_storm starved the recovering replica"
+  cat "$smoke_dir/s1"
+  exit 1
+fi
+echo "  2@storm:16: deterministic, victim committed $storm_commits post-recovery"
+# Grief attribution: the analyzer must name the attack, not "unknown".
+attack_sim "$smoke_dir/g" --adversary 3@grief:0.8 --trace "$smoke_dir/g.jsonl" || {
+  echo "traced grief run failed"
+  exit 1
+}
+dune exec bin/clanbft_cli.exe -- analyze --trace "$smoke_dir/g.jsonl" --json \
+  >"$smoke_dir/g.json"
+if command -v jq >/dev/null 2>&1; then
+  jq -e '[.stalls[].cause] | length > 0 and all(. == "grief_leader(3)")' \
+    "$smoke_dir/g.json" >/dev/null || {
+    echo "stall detector failed to attribute the griefing leader"
+    cat "$smoke_dir/g.json"
+    exit 1
+  }
+else
+  grep -q '"cause":"grief_leader(3)"' "$smoke_dir/g.json" || {
+    echo "stall detector failed to attribute the griefing leader"
+    cat "$smoke_dir/g.json"
+    exit 1
+  }
+fi
+echo "  grief stalls attributed to grief_leader(3)"
+# Bad adversary specs must be rejected cleanly (exit 2), never crash.
+for bad in "3@bogus" "99@grief" "3@censor:xx" "3@grief:1.5"; do
+  dune exec bin/clanbft_cli.exe -- sim -n 16 --duration 1 \
+    --adversary "$bad" >/dev/null 2>&1
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "bad adversary spec '$bad' exited $rc, expected 2"
+    exit 1
+  fi
+done
+dune exec bin/clanbft_cli.exe -- check --adversary grief -n 4 >/dev/null 2>&1
+rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "check --adversary grief without --model sailfish exited $rc, expected 2"
+  exit 1
+fi
+echo "  malformed adversary specs rejected with exit 2"
+rm -rf "$smoke_dir"
+
 echo "== bench metrics smoke =="
 smoke_dir=$(mktemp -d)
 (cd "$smoke_dir" && CLANBFT_BENCH=quick dune exec --root "$OLDPWD" bench/main.exe -- metrics)
@@ -311,6 +416,30 @@ if command -v jq >/dev/null 2>&1; then
     echo "BENCH_sim.json failed schema validation"
     exit 1
   }
+  # Degradation envelope over the attack corpus: every run safe and live,
+  # and every attack's damage bounded relative to its same-seed benign
+  # baseline. Runs are deterministic, so a breach is a behaviour change.
+  attacks_envelope='.attacks | length == 21
+    and all(.[]; .agreement)
+    and ([.[] | select(.tput_ratio != null)] | length == 15
+         and all(.[]; .tput_ratio >= 0.55 and .tput_ratio <= 1.08
+                 and .p50_ratio >= 0.85 and .p50_ratio <= 1.3
+                 and .p99_ratio >= 0.85 and .p99_ratio <= 3.2))'
+  jq -e "$attacks_envelope" "$smoke_dir/BENCH_sim.json" >/dev/null || {
+    echo "BENCH_sim.json attack corpus breached its degradation envelope"
+    jq '.attacks' "$smoke_dir/BENCH_sim.json"
+    exit 1
+  }
+  # Envelope self-test: a synthetic throughput collapse on one attack row
+  # must trip it.
+  jq '(.attacks[] | select(.attack == "grief" and .protocol == "dense")
+       | .tput_ratio) *= 0.5' \
+    "$smoke_dir/BENCH_sim.json" >"$smoke_dir/tampered_attacks.json"
+  if jq -e "$attacks_envelope" "$smoke_dir/tampered_attacks.json" >/dev/null 2>&1; then
+    echo "attack envelope self-test failed: synthetic collapse not detected"
+    exit 1
+  fi
+  echo "attack corpus envelope OK (and self-test trips on synthetic collapse)"
 else
   for key in '"schema": "clanbft/bench-sim/v3"' '"events_per_s"' '"sha256_mb_per_s"' '"net_send_ops_per_s"' '"analysis"'; do
     grep -qF "$key" "$smoke_dir/BENCH_sim.json" || {

@@ -9,7 +9,7 @@ module Msg = Clanbft_types.Msg
 module Vertex = Clanbft_types.Vertex
 
 type violation = { invariant : string; detail : string }
-type adversary = No_adversary | Equivocate | Collude
+type adversary = No_adversary | Equivocate | Collude | Grief
 type model = Rbc of Rbc.protocol | Sailfish
 
 type spec = {
@@ -52,11 +52,13 @@ let adversary_to_string = function
   | No_adversary -> "none"
   | Equivocate -> "equivocate"
   | Collude -> "collude"
+  | Grief -> "grief"
 
 let adversary_of_string = function
   | "none" -> Ok No_adversary
   | "equivocate" -> Ok Equivocate
   | "collude" -> Ok Collude
+  | "grief" -> Ok Grief
   | s -> Error ("unknown adversary: " ^ s)
 
 let spec_meta s =
@@ -137,6 +139,10 @@ let byz_of = function
   | No_adversary -> []
   | Equivocate -> [ 0 ]
   | Collude -> [ 0; 1 ]
+  (* The griefer runs the full honest stack — only its proposals are held
+     back — so it is subject to every honest invariant and is no scheduling
+     no-op: it occupies no Byzantine slot. *)
+  | Grief -> []
 
 (* ------------------------------------------------------------------ *)
 (* RBC worlds *)
@@ -147,6 +153,8 @@ let byz_of = function
 let check_ring_bits = 12
 
 let build_rbc ~trace s protocol =
+  if s.adversary = Grief then
+    invalid_arg "Harness.build: Grief is a Sailfish-model adversary";
   let n = s.n in
   let byz = byz_of s.adversary in
   let engine = Engine.create ~ring_bits:check_ring_bits () in
@@ -387,8 +395,11 @@ let build_rbc ~trace s protocol =
 (* Sailfish worlds *)
 
 let build_sailfish ~trace s =
-  if s.adversary <> No_adversary then
-    invalid_arg "Harness.build: the Sailfish model runs honest-only";
+  (match s.adversary with
+  | No_adversary | Grief -> ()
+  | Equivocate | Collude ->
+      invalid_arg
+        "Harness.build: the Sailfish model takes No_adversary or Grief");
   if s.late_join then
     invalid_arg "Harness.build: late_join is an RBC-only scenario";
   let n = s.n in
@@ -452,6 +463,25 @@ let build_sailfish ~trace s =
             (Printf.sprintf "slot (%d,%d): node %d accepted a second vertex digest"
                v.round v.source me)
   in
+  (* Grief adversary (node 0): the honest stack runs untouched, but every
+     copy of its own proposals departs just inside the round timeout —
+     the checker-scale twin of [Clanbft_faults.Strategy]'s grief. The held
+     copy re-enters through {!Net.send_unfiltered}, so it is never
+     re-held, and the delay is a calendar event the explorer schedules
+     like any timer. *)
+  (match s.adversary with
+  | Grief ->
+      let hold =
+        9 * Sailfish.default_params.Sailfish.round_timeout / 10
+      in
+      Net.set_filter net (fun ~src ~dst msg ->
+          match msg with
+          | Msg.Val { vertex; _ } when src = 0 && vertex.Vertex.source = 0 ->
+              Engine.schedule_after engine hold (fun () ->
+                  Net.send_unfiltered net ~src ~dst msg);
+              false
+          | _ -> true)
+  | _ -> ());
   let nodes =
     Array.init n (fun me ->
         Sailfish.create ~me ~config:cfg ~keychain ~engine ~net ?obs

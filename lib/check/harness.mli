@@ -50,7 +50,7 @@ type violation = { invariant : string; detail : string }
     ([agreement], [validity], [equivocation], [prefix], [totality]);
     [detail] is the human-readable evidence. *)
 
-type adversary = No_adversary | Equivocate | Collude
+type adversary = No_adversary | Equivocate | Collude | Grief
 (** Byzantine load injected at build time, before exploration starts:
 
     - [Equivocate]: the sender (node 0) is Byzantine — it sends value A
@@ -58,12 +58,19 @@ type adversary = No_adversary | Equivocate | Collude
       {e both} digests with its own ECHOs (and READYs in the Bracha
       family). One fault with [f = 1] honest tolerance: every explored
       schedule must stay safe, so this is the standing assurance
-      scenario.
+      scenario. (RBC models only.)
     - [Collude]: [Equivocate] plus a second Byzantine node (node 1) that
       also votes for both digests. Two faults against [f = 1] — outside
       the fault model, so agreement {e is} breakable, and the checker
       must find a breaking schedule. Used by the CI self-test to prove
-      the checker can catch real violations. *)
+      the checker can catch real violations. (RBC models only.)
+    - [Grief]: node 0 runs the full honest stack, but every copy of its
+      own proposals is held back to just inside the round timeout — the
+      checker-scale twin of {!Clanbft_faults.Strategy}'s slow-proposer
+      griefing. Within the fault model: every explored interleaving of
+      the delayed proposals against the timeout machinery must preserve
+      the commit-prefix and vertex-uniqueness invariants, and the world
+      must still commit. (Sailfish model only.) *)
 
 type model = Rbc of Clanbft_rbc.Rbc.protocol | Sailfish
 

@@ -226,10 +226,7 @@ let box_of tbl round n =
       Hashtbl.replace tbl round b;
       b
 
-let val_signing_string (v : Vertex.t) =
-  String.concat ""
-    [ "val|"; string_of_int v.round; "|"; string_of_int v.source; "|";
-      Digest32.to_raw v.digest ]
+let val_signing_string = Msg.val_signing_string
 
 (* ------------------------------------------------------------------ *)
 (* Vertex validity (checked before echoing) *)
@@ -644,7 +641,7 @@ and request_parents t (child : Vertex.t) missing =
         slot.fetching_vertex <- true;
         (* Ask the child's proposer first (it certainly held the parent),
            falling back to the parent's own source. *)
-        vertex_fetch_loop t slot [ child.source; r.source ]
+        vertex_fetch_loop t slot ~cycles:0 ~ring:2 [ child.source; r.source ]
       end;
       (* The child is RBC-delivered, so a quorum certified its content —
          edges included. The edge digest therefore certifies the parent
@@ -654,7 +651,7 @@ and request_parents t (child : Vertex.t) missing =
       certified t slot r.digest)
     missing
 
-and fetch_vertex t slot =
+and fetch_vertex ?(cycles = 0) ?(last = 0) t slot =
   if not slot.fetching_vertex then begin
     slot.fetching_vertex <- true;
     (* Anyone who echoed the certified digest has seen the vertex. *)
@@ -669,27 +666,36 @@ and fetch_vertex t slot =
     let candidates =
       if candidates = [] then [ slot.s_source ] else candidates
     in
-    vertex_fetch_loop t slot candidates
+    (* Reset the sweep backoff on progress: a grown candidate set means new
+       echoes landed since the last sweep, so someone reachable has it. *)
+    let cycles = if List.length candidates > last then 0 else cycles in
+    vertex_fetch_loop t slot ~cycles ~ring:(List.length candidates) candidates
   end
 
-and vertex_fetch_loop t slot candidates =
+and vertex_fetch_loop t slot ~cycles ~ring candidates =
   if (not t.halted) && slot.vertex = None && slot.s_round >= Store.floor t.store
   then
     match candidates with
     | [] ->
-        (* Start over after a beat — delivery guarantees someone has it. *)
-        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+        (* Start over — delivery guarantees someone has it — but with the
+           completed-sweep counter driving an exponential backoff capped at
+           16 x sync_retry, matching the TA-RBC pull cycle: a muted or
+           griefing source must not turn the fetch path into a constant-rate
+           pull storm. *)
+        let backoff = t.params.sync_retry * (1 lsl min cycles 4) in
+        Engine.schedule_after t.engine backoff (fun () ->
             slot.fetching_vertex <- false;
-            if slot.vertex = None then fetch_vertex t slot)
+            if slot.vertex = None then
+              fetch_vertex ~cycles:(cycles + 1) ~last:ring t slot)
     | target :: rest ->
         Metrics.incr t.obsh.o_pull_retries;
         trace_phase t ~sender:slot.s_source ~round:slot.s_round Trace.Pull_retry;
         Net.send t.net ~src:t.me ~dst:target
           (Msg.Vertex_request { round = slot.s_round; source = slot.s_source });
         Engine.schedule_after t.engine t.params.sync_retry (fun () ->
-            vertex_fetch_loop t slot rest)
+            vertex_fetch_loop t slot ~cycles ~ring rest)
 
-and maybe_fetch_block t slot =
+and maybe_fetch_block ?(cycles = 0) t slot =
   match slot.vertex with
   | Some v
     when slot.delivered && slot.block = None && expects_block v
@@ -701,24 +707,30 @@ and maybe_fetch_block t slot =
         | Some members -> Array.to_list members
         | None -> []
       in
-      block_fetch_loop t slot (List.filter (fun i -> i <> t.me) clan)
+      block_fetch_loop t slot ~cycles
+        (List.filter (fun i -> i <> t.me) clan)
   | _ -> ()
 
-and block_fetch_loop t slot candidates =
+and block_fetch_loop t slot ~cycles candidates =
   if (not t.halted) && slot.block = None && slot.s_round >= Store.floor t.store
   then
     match candidates with
     | [] ->
-        Engine.schedule_after t.engine t.params.sync_retry (fun () ->
+        (* Same capped exponential backoff as the vertex sweep. The block
+           candidate set is the (fixed) payload clan, so there is no grown-
+           candidate reset; a fresh [maybe_fetch_block] trigger (the flag
+           cleared by success or GC) starts over at full rate. *)
+        let backoff = t.params.sync_retry * (1 lsl min cycles 4) in
+        Engine.schedule_after t.engine backoff (fun () ->
             slot.fetching_block <- false;
-            maybe_fetch_block t slot)
+            maybe_fetch_block ~cycles:(cycles + 1) t slot)
     | target :: rest ->
         Metrics.incr t.obsh.o_pull_retries;
         trace_phase t ~sender:slot.s_source ~round:slot.s_round Trace.Pull_retry;
         Net.send t.net ~src:t.me ~dst:target
           (Msg.Block_request { round = slot.s_round; source = slot.s_source });
         Engine.schedule_after t.engine t.params.sync_retry (fun () ->
-            block_fetch_loop t slot rest)
+            block_fetch_loop t slot ~cycles rest)
 
 and on_block_request t ~src ~round ~source =
   let slot = slot_of t ~round ~source in

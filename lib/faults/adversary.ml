@@ -34,9 +34,6 @@ let run ~sender ~n ?clan ~protocol ~net ~round behaviour =
     Net.send net ~src:sender ~dst
       (Rbc.Val_digest { sender; round; digest = Digest32.hash_string value })
   in
-  (* Value-entitled recipients (the clan, or everyone outside the tribe
-     protocols) in id order, so scenarios replay exactly. *)
-  let entitled = ref 0 in
   match behaviour with
   | Silent -> ()
   | Equivocate { values } ->
@@ -51,6 +48,11 @@ let run ~sender ~n ?clan ~protocol ~net ~round behaviour =
         end
       done
   | Equivocate_biased { value; decoy; decoys } ->
+      (* Value-entitled recipients (the clan, or everyone outside the tribe
+         protocols) in id order, so scenarios replay exactly. The counter is
+         scoped to this invocation's arm: reusing a behaviour within a round
+         must hand the same recipients the same roles. *)
+      let entitled = ref 0 in
       for dst = 0 to n - 1 do
         if dst <> sender then
           if in_clan dst then begin
@@ -60,6 +62,7 @@ let run ~sender ~n ?clan ~protocol ~net ~round behaviour =
           else send_digest dst value
       done
   | Withhold { value; reveal } ->
+      let entitled = ref 0 in
       for dst = 0 to n - 1 do
         if dst <> sender then
           if in_clan dst then begin

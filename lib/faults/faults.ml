@@ -81,15 +81,10 @@ let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> No
       Trace.emit tr ~ts:(Engine.now engine)
         (Trace.Fault_fire { rule; action; kind; src; dst })
   in
-  (* Delayed/duplicated traffic is re-injected through Net.send, which calls
-     the filter again; the flag lets those copies through untouched. *)
-  let reinjecting = ref false in
-  let resend ~src ~dst msg () =
-    reinjecting := true;
-    Fun.protect
-      ~finally:(fun () -> reinjecting := false)
-      (fun () -> Net.send net ~src ~dst msg)
-  in
+  (* Delayed/duplicated traffic is re-injected outside the filter chain:
+     the copy was already ruled on once, and re-offering it would also run
+     any adversary strategy layered above this filter a second time. *)
+  let resend ~src ~dst msg () = Net.send_unfiltered net ~src ~dst msg in
   let matches ~now ~round ~kind ~src ~dst r =
     now >= r.from_time
     && now < r.until_time
@@ -100,8 +95,7 @@ let install ~engine ~net ~rng ?(classify = fun _ -> "") ?(round_of = fun _ -> No
     && selects r.src src && selects r.dst dst
   in
   Net.set_filter net (fun ~src ~dst msg ->
-      if !reinjecting then true
-      else begin
+      begin
         t.examined <- t.examined + 1;
         let now = Engine.now engine in
         let round = round_of msg in

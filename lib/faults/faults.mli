@@ -112,8 +112,9 @@ val install :
   'msg t
 (** Compiles [plan] and installs it as the net's filter (replacing any
     previous filter). Delayed and duplicated messages are re-injected
-    through {!Net.send} — they pay serialization again, like a real
-    retransmission — and bypass the filter on re-entry.
+    through {!Net.send_unfiltered} — they pay serialization again, like a
+    real retransmission, but are never re-offered to the filter chain (nor
+    to any adversary {!Strategy} layered above it).
 
     With a tracing [obs], every rule that {e bites} emits a
     {!Clanbft_obs.Trace.Fault_fire} event carrying the rule's index in
@@ -143,6 +144,10 @@ val duplicated : _ t -> int
     - restart: [NODE@CRASH:RECOVER], e.g. [3@4s:8s].
 
     Times accept [us]/[ms]/[s] suffixes; a bare integer is microseconds. *)
+
+val parse_time : string -> (Time.span, string) result
+(** The spec grammar's time literal ([us]/[ms]/[s] suffix or bare µs);
+    shared with {!Strategy}'s argument parser. *)
 
 val rule_of_string : string -> (rule, string) result
 val partition_of_string : string -> (partition, string) result

@@ -182,6 +182,13 @@ let analyze ?(stall_factor = 5.0) records =
   let uplinks = Hashtbl.create 64 in (* node -> info *)
   let mutes_rev = ref [] in (* (ts, src) *)
   let partitions_rev = ref [] in (* ts *)
+  (* Strategic-adversary fires (rule = -2), keyed by the strategy's action
+     string; src is the occupied (attacking) node. *)
+  let griefs_rev = ref [] in (* (ts, src) *)
+  let storms_rev = ref [] in
+  let censors_rev = ref [] in
+  let equivs_rev = ref [] in
+  let reorders_rev = ref [] in
   let sync_start = Hashtbl.create 16 in (* node -> ts list, rev *)
   let caught_up = Hashtbl.create 16 in
   List.iter
@@ -253,6 +260,11 @@ let analyze ?(stall_factor = 5.0) records =
           | "mute" -> mutes_rev := (ts, src) :: !mutes_rev
           | "partition_delay" | "partition_drop" ->
               partitions_rev := ts :: !partitions_rev
+          | "grief" -> griefs_rev := (ts, src) :: !griefs_rev
+          | "sync_storm" -> storms_rev := (ts, src) :: !storms_rev
+          | "censor" -> censors_rev := (ts, src) :: !censors_rev
+          | "equivocate" -> equivs_rev := (ts, src) :: !equivs_rev
+          | "reorder" -> reorders_rev := (ts, src) :: !reorders_rev
           | _ -> ())
       | Trace.Recovery { node; stage; _ } -> (
           see_node node;
@@ -366,11 +378,39 @@ let analyze ?(stall_factor = 5.0) records =
   in
   let mutes = List.rev !mutes_rev in
   let partitions = List.rev !partitions_rev in
+  let griefs = List.rev !griefs_rev in
+  let storms = List.rev !storms_rev in
+  let censors = List.rev !censors_rev in
+  let equivs = List.rev !equivs_rev in
+  let reorders = List.rev !reorders_rev in
   let pull_times = List.rev !pull_ts_rev in
+  (* Observed (leader_round, source) pairs are ground truth; for an
+     unobserved round, extrapolate from the nearest observed pair rather
+     than guessing [r mod n] directly. The raw modular fallback silently
+     assumes the trace exposed every node id (n is inferred), which
+     restart/recovery-heavy traces with muted or occupied replicas can
+     violate — and then the fallback blames the wrong replica for a stall.
+     Anchoring at a real pair keeps the rotation aligned with what the run
+     actually committed. *)
+  let leader_pairs =
+    Hashtbl.fold (fun r l acc -> (r, l) :: acc) leader_obs []
+  in
   let leader_of r =
     match Hashtbl.find_opt leader_obs r with
     | Some l -> l
-    | None -> if n > 0 then r mod n else 0
+    | None -> (
+        let nearest =
+          List.fold_left
+            (fun acc (r0, l0) ->
+              match acc with
+              | Some (rb, _) when abs (r - rb) <= abs (r - r0) -> acc
+              | _ -> Some (r0, l0))
+            None leader_pairs
+        in
+        match nearest with
+        | Some (r0, l0) when n > 0 -> (((l0 + (r - r0)) mod n) + n) mod n
+        | Some (_, l0) -> l0
+        | None -> if n > 0 then r mod n else 0)
   in
   let sync_in_flight a b =
     (* Does any replica's [sync_start .. caught_up] window overlap [a,b]? *)
@@ -409,21 +449,60 @@ let analyze ?(stall_factor = 5.0) records =
       | None, l -> l @ [ List.fold_left max 0 l + 1 ]
       | Some s, l -> (s :: l) @ [ List.fold_left max s l + 1 ]
     in
-    let muted_srcs =
-      List.filter_map (fun (ts, src) -> if ts >= a && ts <= b then Some src else None) mutes
+    let fired l =
+      List.filter_map
+        (fun (ts, src) -> if ts >= a && ts <= b then Some src else None)
+        l
       |> List.sort_uniq compare
     in
-    let muted_leader =
-      List.find_opt (fun src -> List.exists (fun r -> leader_of r = src) candidates)
-        muted_srcs
+    let muted_srcs = fired mutes in
+    (* Prefer observed leader pairs over the modular guess: a round whose
+       anchor committed somewhere in the trace plainly had a functioning
+       leader, so only anchor-less candidate rounds can be leader-blocked.
+       (Without this filter, a crash+mute combination misattributes: rounds
+       that merely *started* during a recovery-induced stall match the
+       muted node through the r-mod-n fallback and steal the blame from
+       state sync.) *)
+    let blocked =
+      List.filter (fun r -> not (Hashtbl.mem leader_obs r)) candidates
     in
-    match muted_leader with
+    let leader_match rounds srcs =
+      List.find_opt
+        (fun src -> List.exists (fun r -> leader_of r = src) rounds)
+        srcs
+    in
+    match leader_match blocked muted_srcs with
     | Some l -> Printf.sprintf "muted_leader(%d)" l
-    | None ->
-        if in_window partitions a b <> [] then "partition"
-        else if sync_in_flight a b then "state_sync"
-        else if List.length (in_window pull_times a b) >= 100 then "pull_storm"
-        else "unknown"
+    | None -> (
+        (* A griefed round's anchor does commit — just almost a timeout
+           late — so the grief check matches any candidate round the
+           griefer leads, observed or not. *)
+        match leader_match candidates (fired griefs) with
+        | Some g -> Printf.sprintf "grief_leader(%d)" g
+        | None ->
+            if in_window partitions a b <> [] then "partition"
+            else (
+              (* Before state_sync: a sync storm's victim is by definition
+                 mid-recovery, and the amplification — not the recovery —
+                 owns the stall. *)
+              match fired storms with
+              | _ :: _ -> "sync_storm"
+              | [] -> (
+                  if sync_in_flight a b then "state_sync"
+                  else
+                    match fired censors with
+                    | c :: _ -> Printf.sprintf "censorship(%d)" c
+                    | [] -> (
+                        match fired equivs with
+                        | e :: _ -> Printf.sprintf "equivocation(%d)" e
+                        | [] -> (
+                            match fired reorders with
+                            | r :: _ -> Printf.sprintf "reorder(%d)" r
+                            | [] ->
+                                if
+                                  List.length (in_window pull_times a b) >= 100
+                                then "pull_storm"
+                                else "unknown")))))
   in
   let stalls =
     no_commit_stall @ commit_stalls @ round_stalls

@@ -160,6 +160,7 @@ let create ~engine ~topology ~config ~size ?(kind = fun _ -> "msg") ?obs ~rng ()
 let n t = Topology.n t.topology
 let set_handler t i fn = t.handlers.(i) <- fn
 let set_filter t f = t.filter <- f
+let filter t = t.filter
 let obs t = t.obs
 let registry t = t.obs.Obs.metrics
 
@@ -216,11 +217,11 @@ let deliver t ~src ~dst ~bytes ~kind msg arrival =
   Engine.schedule_choice_ix_at t.engine arrival ~src ~dst ~tag:kind t.deliver_ix
     ix
 
-(* The core path, with [bytes]/[kind] already priced: fan-out entry points
+(* The core path with the filter already consulted (or deliberately
+   bypassed) and [bytes]/[kind] already priced: fan-out entry points
    compute them once per message, not once per recipient. *)
-let send_priced t ~src ~dst ~bytes ~kind msg =
-  if not (t.filter ~src ~dst msg) then ()
-  else begin
+let send_priced_unchecked t ~src ~dst ~bytes ~kind msg =
+  begin
     let now = Engine.now t.engine in
     Metrics.add t.bytes_sent.(src) bytes;
     Metrics.incr t.messages_sent.(src);
@@ -257,11 +258,22 @@ let send_priced t ~src ~dst ~bytes ~kind msg =
     end
   end
 
+let send_priced t ~src ~dst ~bytes ~kind msg =
+  if t.filter ~src ~dst msg then send_priced_unchecked t ~src ~dst ~bytes ~kind msg
+
 let price t msg = (t.size msg + t.config.per_message_overhead, t.kind msg)
 
 let send t ~src ~dst msg =
   let bytes, kind = price t msg in
   send_priced t ~src ~dst ~bytes ~kind msg
+
+(* Re-injection path for fault rules and adversary strategies: the copy
+   pays full serialization/latency pricing but is never offered to the
+   installed filter, so a filter closure may call this without recursing
+   into itself (or into filters layered above it). *)
+let send_unfiltered t ~src ~dst msg =
+  let bytes, kind = price t msg in
+  send_priced_unchecked t ~src ~dst ~bytes ~kind msg
 
 (* Batched fan-out: the same priced message to every destination produced by
    [iter], in iteration order. Event for event this is equivalent to calling

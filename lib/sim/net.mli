@@ -80,7 +80,21 @@ val jitter_draw :
 val set_filter : 'msg t -> (src:int -> dst:int -> 'msg -> bool) -> unit
 (** Fault-injection hook: messages for which the filter returns [false] are
     silently dropped. Use only for crash/partition tests — reliable-link
-    protocols assume eventual delivery. *)
+    protocols assume eventual delivery. The slot holds a single closure;
+    layered consumers ({!Clanbft_faults.Faults} rules below an adversary
+    {!Clanbft_faults.Strategy}) compose by reading the current {!filter}
+    and delegating to it. *)
+
+val filter : 'msg t -> (src:int -> dst:int -> 'msg -> bool)
+(** The currently installed filter (constant [true] when none was set).
+    For wrapping: capture it, then {!set_filter} a closure that delegates. *)
+
+val send_unfiltered : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Like {!send} — full serialization, latency and metric pricing — but the
+    copy is never offered to the installed filter. Fault rules re-injecting
+    delayed/duplicated traffic and adversary strategies releasing held
+    messages use this to avoid re-entering their own (or each other's)
+    filter logic. *)
 
 (** {1 Metrics}
 

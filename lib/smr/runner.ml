@@ -6,6 +6,7 @@ module Sailfish = Clanbft_consensus.Sailfish
 module Stats = Clanbft_util.Stats
 module Rng = Clanbft_util.Rng
 module Faults = Clanbft_faults.Faults
+module Strategy = Clanbft_faults.Strategy
 module Obs = Clanbft_obs.Obs
 module Metrics = Clanbft_obs.Metrics
 module Bitset = Clanbft_util.Bitset
@@ -37,6 +38,7 @@ type spec = {
   crashed : int list;
   fault_plan : Faults.plan;
   restarts : Faults.restart list;
+  adversaries : Strategy.spec list;
   persist : bool;
   clan_random : bool;
   obs : Obs.t option;
@@ -58,6 +60,7 @@ let default_spec =
     crashed = [];
     fault_plan = Faults.empty;
     restarts = [];
+    adversaries = [];
     persist = false;
     clan_random = false;
     obs = None;
@@ -185,10 +188,17 @@ let run spec =
   let muted_nodes =
     List.map (fun (m : Faults.mute) -> m.node) spec.fault_plan.Faults.mutes
   in
+  (* Strategy-occupied nodes are the modelled Byzantine parties: like muted
+     replicas they are never required to commit a block, and their ledgers
+     make no honest claims (excluded from the agreement check below). *)
+  let adversary_nodes =
+    List.map (fun (s : Strategy.spec) -> s.Strategy.node) spec.adversaries
+  in
   let always_required =
     Array.init spec.n (fun i ->
         (not crashed.(i))
         && (not (List.mem i muted_nodes))
+        && (not (List.mem i adversary_nodes))
         && restart_of.(i) = None)
   in
   let required_total =
@@ -297,6 +307,12 @@ let run spec =
       (Faults.install ~engine ~net
          ~rng:(Rng.split rng)
          ~classify:Msg.tag ~round_of:Msg.round ~obs spec.fault_plan);
+  (* Strategies wrap whatever filter the fault plan installed (or the
+     default pass-through): they rule first, delegating untouched traffic
+     to the network fault rules below. An empty list installs nothing, so
+     benign runs stay bit-identical. *)
+  Strategy.install ~engine ~net ~keychain ~config
+    ~round_timeout:spec.params.Sailfish.round_timeout ~obs spec.adversaries;
   List.iter
     (fun (r : Faults.restart) ->
       Engine.schedule_at engine r.crash_at (fun () ->
@@ -322,6 +338,7 @@ let run spec =
     List.filteri
       (fun i _ ->
         (not crashed.(i))
+        && (not (List.mem i adversary_nodes))
         && not (Sailfish.snapshot_joined (Node.consensus nodes.(i))))
       (Array.to_list prefix_hash)
   in

@@ -54,6 +54,15 @@ type spec = {
           runs are bit-identical to pre-recovery-subsystem behaviour. At
           most one restart per replica; a replica may not appear in both
           [crashed] and [restarts]. *)
+  adversaries : Clanbft_faults.Strategy.spec list;
+      (** Strategic adversaries ({!Clanbft_faults.Strategy}): each spec
+          occupies a node id for the whole run with a protocol-level attack
+          behaviour (equivocation, censorship, griefing, sync-storm
+          amplification, adversarial reordering). Installed above the fault
+          plan's filter. Occupied nodes are the modelled Byzantine parties:
+          excluded from commit accounting and from the agreement check,
+          exactly like muted replicas. Empty = nothing installed; benign
+          runs stay bit-identical. *)
   persist : bool;
   clan_random : bool;  (** random clan election instead of region-balanced *)
   obs : Clanbft_obs.Obs.t option;

@@ -31,6 +31,14 @@ let echo_signing_string ~round ~source digest =
     [ "echo|"; string_of_int round; "|"; string_of_int source; "|";
       Digest32.to_raw digest ]
 
+(* The string a proposer signs over its VAL. Lives here (not in the
+   consensus module) so that adversary strategies forging equivocating
+   vertices produce signatures honest validators accept. *)
+let val_signing_string (v : Vertex.t) =
+  String.concat ""
+    [ "val|"; string_of_int v.round; "|"; string_of_int v.source; "|";
+      Digest32.to_raw v.digest ]
+
 let sig_size = Keychain.signature_size
 let agg_size ~n = Keychain.signature_size + ((n + 7) / 8)
 

@@ -54,6 +54,11 @@ type t =
 val echo_signing_string : round:int -> source:int -> Digest32.t -> string
 (** Canonical string ECHO signatures cover. *)
 
+val val_signing_string : Vertex.t -> string
+(** Canonical string a proposer's VAL signature covers. Exposed so the
+    strategic adversary engine ({!Clanbft_faults.Strategy}) can re-sign
+    forged variants of its own proposals with its legitimate key. *)
+
 val wire_size : n:int -> t -> int
 (** Exact bytes on the wire; kept in lock-step with {!Codec} by a property
     test ([wire_size] must equal the encoded length). *)

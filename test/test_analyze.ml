@@ -165,6 +165,153 @@ let test_partition_stall () =
         (st.Analyze.st_until <= Time.s 3. + Time.s 1.))
     rep.Analyze.stalls
 
+let test_observed_pairs_beat_modular_guess () =
+  (* Regression (PR 9): a recovery-induced commit stall with an unrelated
+     mute in the window. The observed leader rotation is offset from
+     [r mod n] (as happens whenever the trace under-infers n), so the old
+     modular fallback — and the old habit of matching *every* candidate
+     round, committed or not — both pin the stall on the muted replica.
+     Rounds whose anchors demonstrably committed cannot be leader-blocked;
+     the true cause is the state sync in flight. *)
+  let ev ts e = { Trace.ts; ev = e } in
+  let propose r ts =
+    ev ts
+      (Trace.Rbc_phase
+         { node = (r + 2) mod 4; sender = (r + 2) mod 4; round = r;
+           phase = Trace.Propose })
+  in
+  let anchor_commit r ts =
+    (* Observed pair: round r's anchor, led by (r + 2) mod 4. *)
+    ev ts
+      (Trace.Vertex_commit
+         { node = 0; round = r; source = (r + 2) mod 4; leader_round = r })
+  in
+  let records =
+    List.concat
+      [
+        List.init 6 (fun r -> propose r (r * 100_000));
+        [ propose 6 650_000 ];
+        List.init 6 (fun r -> anchor_commit r ((r * 100_000) + 50_000));
+        [
+          (* Node 2 recovers across the whole quiet window... *)
+          ev 560_000 (Trace.Recovery { node = 2; stage = "sync_start"; round = 0 });
+          (* ...while node 3 — round 5's *observed* leader, and [7 mod 4] —
+             goes mute without blocking anything. *)
+          ev 600_000
+            (Trace.Fault_fire
+               { rule = -1; action = "mute"; kind = "val"; src = 3; dst = 0 });
+          ev 1_600_000
+            (Trace.Recovery { node = 2; stage = "caught_up"; round = 0 });
+          (* The commit ending the stall: round 6, a non-anchor vertex. *)
+          ev 1_650_000
+            (Trace.Vertex_commit
+               { node = 0; round = 6; source = 0; leader_round = 4 });
+        ];
+      ]
+    |> List.sort (fun a b -> compare a.Trace.ts b.Trace.ts)
+  in
+  let rep = Analyze.analyze records in
+  let commit_stall =
+    List.find_opt
+      (fun st -> st.Analyze.st_kind = `Commit && st.Analyze.st_from = 550_000)
+      rep.Analyze.stalls
+  in
+  Alcotest.(check bool) "commit stall detected" true (commit_stall <> None);
+  List.iter
+    (fun (st : Analyze.stall) ->
+      Alcotest.(check string)
+        (Printf.sprintf "window %d..%d blamed on sync" st.Analyze.st_from
+           st.Analyze.st_until)
+        "state_sync" st.Analyze.st_cause)
+    rep.Analyze.stalls
+
+let test_crash_plus_mute_attribution () =
+  (* System-level companion: replica 5 crash-recovers across 2s..4s while
+     replica 3 is muted from 3s on. Every stall must land on one of the two
+     real causes — never on "unknown", and never on the muted replica for a
+     window that closed before the mute existed. *)
+  let spec =
+    {
+      base_spec with
+      Runner.duration = Time.s 8.;
+      persist = true;
+      restarts =
+        [ { Faults.node = 5; crash_at = Time.s 2.; recover_at = Time.s 4. } ];
+      fault_plan =
+        Faults.plan
+          ~mutes:
+            [ { Faults.node = 3; after_round = max_int; after_time = Time.s 3. } ]
+          ();
+    }
+  in
+  let _, records = traced_run spec in
+  let rep = Analyze.analyze records in
+  Alcotest.(check bool) "stall detected" true (rep.Analyze.stalls <> []);
+  List.iter
+    (fun (st : Analyze.stall) ->
+      let cause = st.Analyze.st_cause in
+      Alcotest.(check bool)
+        (Printf.sprintf "cause named (%s, window %d..%d)" cause
+           st.Analyze.st_from st.Analyze.st_until)
+        true
+        (cause = "muted_leader(3)" || cause = "state_sync");
+      if cause = "muted_leader(3)" then
+        Alcotest.(check bool) "mute blamed only once it exists" true
+          (st.Analyze.st_until >= Time.s 3.))
+    rep.Analyze.stalls
+
+let test_attack_cause_matrix () =
+  (* The five strategy signatures (docs/ATTACKS.md): a stall whose window
+     contains a rule -2 Fault_fire is named after the attack, never
+     "unknown". One synthetic trace per strategy — identical except for
+     the fire — with leader rotation r mod 4 and a quiet window after
+     round 5 starts. Grief must additionally match a stalled round the
+     griefer leads (round 5's extrapolated leader is 1). *)
+  let ev ts e = { Trace.ts; ev = e } in
+  let trace fire_src action =
+    List.concat
+      [
+        List.init 6 (fun r ->
+            ev (r * 100_000)
+              (Trace.Rbc_phase
+                 { node = r mod 4; sender = r mod 4; round = r;
+                   phase = Trace.Propose }));
+        List.init 5 (fun r ->
+            ev ((r * 100_000) + 50_000)
+              (Trace.Vertex_commit
+                 { node = 0; round = r; source = r mod 4; leader_round = r }));
+        [
+          ev 700_000
+            (Trace.Fault_fire
+               { rule = -2; action; kind = "val"; src = fire_src; dst = 0 });
+          ev 1_500_000
+            (Trace.Vertex_commit
+               { node = 0; round = 6; source = 0; leader_round = 4 });
+        ];
+      ]
+    |> List.sort (fun a b -> compare a.Trace.ts b.Trace.ts)
+  in
+  List.iter
+    (fun (src, action, expect) ->
+      let rep = Analyze.analyze (trace src action) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: stall detected" action)
+        true (rep.Analyze.stalls <> []);
+      List.iter
+        (fun (st : Analyze.stall) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: window %d..%d" action st.Analyze.st_from
+               st.Analyze.st_until)
+            expect st.Analyze.st_cause)
+        rep.Analyze.stalls)
+    [
+      (1, "grief", "grief_leader(1)");
+      (3, "censor", "censorship(3)");
+      (3, "equivocate", "equivocation(3)");
+      (3, "sync_storm", "sync_storm");
+      (3, "reorder", "reorder(3)");
+    ]
+
 let test_dead_trace_is_one_big_stall () =
   (* Rounds start but nothing ever commits: flagged as a full-span
      commit stall even though there are too few gaps for a median. *)
@@ -191,6 +338,12 @@ let suites =
         Alcotest.test_case "load_jsonl round-trip" `Quick test_load_jsonl_roundtrip;
         Alcotest.test_case "muted leader stall" `Quick test_muted_leader_stall;
         Alcotest.test_case "partition stall" `Quick test_partition_stall;
+        Alcotest.test_case "observed pairs beat modular guess" `Quick
+          test_observed_pairs_beat_modular_guess;
+        Alcotest.test_case "crash+mute attribution" `Quick
+          test_crash_plus_mute_attribution;
+        Alcotest.test_case "attack cause matrix" `Quick
+          test_attack_cause_matrix;
         Alcotest.test_case "dead trace stalls" `Quick test_dead_trace_is_one_big_stall;
       ] );
   ]

@@ -192,6 +192,44 @@ let test_sparse_spec_meta_round_trip () =
   | Error e -> Alcotest.failf "spec_of_meta: %s" e
   | Ok spec' -> Alcotest.(check bool) "sparse spec round-trips" true (spec = spec')
 
+let test_sailfish_grief_exhaustive () =
+  (* Timeout-edge proposal delay is inside the fault model: every
+     interleaving of the held proposals against the timeout machinery
+     (within the budget) must keep the commit invariants. *)
+  let spec =
+    { H.default_spec with H.model = H.Sailfish; rounds = 3; adversary = H.Grief }
+  in
+  let r = E.exhaustive ~delay_budget:1 ~window:2 ~max_actions:120 spec in
+  Alcotest.(check bool) "no violation" true (r.E.violation = None);
+  Alcotest.(check bool) "explored >1 run" true (r.E.stats.E.runs > 1);
+  (* And the canonical run still commits: griefed leaders are slow, never
+     skipped, so liveness survives the delay. *)
+  let run = E.run_schedule ~max_actions:400 spec [] in
+  Alcotest.(check bool) "no violation on canonical run" true
+    (run.E.run_violation = None);
+  let commits =
+    try Scanf.sscanf (H.state_line run.E.world) "commits=%d" Fun.id
+    with Scanf.Scan_failure _ | Failure _ -> -1
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "canonical grief run commits (got %d)" commits)
+    true (commits > 0)
+
+let test_sailfish_grief_walks () =
+  let spec =
+    { H.default_spec with H.model = H.Sailfish; rounds = 4; adversary = H.Grief }
+  in
+  let r = E.walks ~max_actions:150 ~seed:29L ~count:2500 spec in
+  Alcotest.(check bool) "no violation in 2500 walks" true (r.E.violation = None)
+
+let test_grief_spec_meta_round_trip () =
+  let spec =
+    { H.default_spec with H.model = H.Sailfish; rounds = 3; adversary = H.Grief }
+  in
+  match H.spec_of_meta (H.spec_meta spec) with
+  | Error e -> Alcotest.failf "spec_of_meta: %s" e
+  | Ok spec' -> Alcotest.(check bool) "grief spec round-trips" true (spec = spec')
+
 let test_dpor_prunes () =
   (* Sleep sets must only remove redundant interleavings: same verdict,
      strictly fewer transitions than the unpruned search. *)
@@ -232,6 +270,12 @@ let suites =
         Alcotest.test_case "sailfish walks stay consistent" `Quick test_sailfish_walks;
         Alcotest.test_case "sparse sailfish walks stay consistent" `Quick
           test_sailfish_sparse_walks;
+        Alcotest.test_case "grief schedules keep invariants" `Quick
+          test_sailfish_grief_exhaustive;
+        Alcotest.test_case "grief survives 2500 walks" `Slow
+          test_sailfish_grief_walks;
+        Alcotest.test_case "grief spec meta round-trip" `Quick
+          test_grief_spec_meta_round_trip;
         Alcotest.test_case "sleep sets prune soundly" `Quick test_dpor_prunes;
       ] );
   ]

@@ -500,6 +500,73 @@ let test_empty_plan_is_free () =
   Alcotest.(check bool) "benign runs identical" true
     (run Faults.empty = run (plan_exn ()))
 
+(* ------------------------------------------------------------------ *)
+(* Adversary role assignment: the value-entitled counter is scoped to one
+   invocation's arm, so reusing a behaviour hands the same recipients the
+   same roles — and non-tribe Withhold stiffs outright, with no digest
+   fallback (honest non-tribe nodes ignore digest-only VALs anyway). *)
+
+let tap_world ?(n = 10) () =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~one_way_ms:10.0 in
+  let config = { Net.default_config with jitter = 0.0 } in
+  let rng = Rng.create 7L in
+  let net =
+    Net.create ~engine ~topology ~config ~size:(Rbc.msg_size ~n) ~rng ()
+  in
+  let sends = ref [] in
+  for me = 0 to n - 1 do
+    Net.set_handler net me (fun ~src:_ msg -> sends := (me, msg) :: !sends)
+  done;
+  (engine, net, sends)
+
+let test_adversary_roles_replay () =
+  let engine, net, sends = tap_world () in
+  let inject round =
+    Adversary.run ~sender:0 ~n:10 ~clan ~protocol:Rbc.Tribe_bracha ~net ~round
+      (Adversary.Equivocate_biased
+         { value = "real"; decoy = "decoy"; decoys = 2 })
+  in
+  inject 1;
+  inject 2;
+  Engine.run ~until:(Time.s 1.) engine;
+  let decoy_dsts round =
+    List.filter_map
+      (fun (dst, m) ->
+        match m with
+        | Rbc.Val { round = r; value = "decoy"; _ } when r = round -> Some dst
+        | _ -> None)
+      !sends
+    |> List.sort compare
+  in
+  (* Entitled order is clan id order minus the sender: 2, 4, 6, 8. A
+     counter leaking across invocations would hand round 2's decoys to
+     nobody (or to later clan members). *)
+  Alcotest.(check (list int)) "round 1 decoys" [ 2; 4 ] (decoy_dsts 1);
+  Alcotest.(check (list int)) "round 2 decoys identical" [ 2; 4 ] (decoy_dsts 2)
+
+let test_withhold_stiffs_non_tribe () =
+  let engine, net, sends = tap_world () in
+  Adversary.run ~sender:0 ~n:10 ~protocol:Rbc.Signed_two_round ~net ~round:1
+    (Adversary.Withhold { value = "v"; reveal = 3 });
+  Engine.run ~until:(Time.s 1.) engine;
+  let vals =
+    List.filter_map
+      (fun (dst, m) -> match m with Rbc.Val _ -> Some dst | _ -> None)
+      !sends
+    |> List.sort compare
+  in
+  let digests =
+    List.filter
+      (fun (_, m) -> match m with Rbc.Val_digest _ -> true | _ -> false)
+      !sends
+  in
+  Alcotest.(check (list int)) "first [reveal] ids get the value" [ 1; 2; 3 ] vals;
+  Alcotest.(check int) "no digest fallback outside the tribe" 0
+    (List.length digests);
+  Alcotest.(check int) "stiffed parties get nothing at all" 3
+    (List.length !sends)
+
 let protocol_cases mk =
   List.map
     (fun (name, p) -> Alcotest.test_case name `Quick (mk p))
@@ -525,6 +592,13 @@ let suites =
             test_nonclan_never_serves_stray_val;
         ] );
     ("faults.equivocation", protocol_cases test_equivocating_sender);
+    ( "faults.adversary-roles",
+      [
+        Alcotest.test_case "roles replay across invocations" `Quick
+          test_adversary_roles_replay;
+        Alcotest.test_case "non-tribe withhold stiffs outright" `Quick
+          test_withhold_stiffs_non_tribe;
+      ] );
     ( "faults.injector",
       [
         Alcotest.test_case "drop by kind+dst" `Quick test_drop_rule;
