@@ -22,10 +22,12 @@
    Sections can be selected on the command line:
      dune exec bench/main.exe -- [--jobs N] [--paper-scale] table1 fig1 \
        concrete fig5a fig5b fig5c fig6 paper-scale ablation-latency \
-       ablation-rbc faults recovery metrics micro analysis attacks perf
+       ablation-rbc faults recovery metrics micro analysis profile \
+       attacks perf
 
    --paper-scale (or CLANBFT_PAPER_SCALE=1) unlocks the n=150 work: the
-   paper-scale sweep section and the n=150 perf-baseline entry. *)
+   paper-scale sweep section, the n=150 perf-baseline entry and the
+   n=150 self-profiler run. *)
 
 open Clanbft
 open Clanbft.Sim
@@ -932,6 +934,89 @@ let analysis () =
     (Lazy.force analysis_rows)
 
 (* ------------------------------------------------------------------ *)
+(* Self-profiler sweep — the pinned perf quartet re-run sequentially with
+   the Prof sections enabled (plus the n=150 dense run at --paper-scale).
+   Deterministic profiler facts — per-section call counts, allocated
+   words, the heap census, the commit fingerprint — go to stdout and into
+   BENCH_sim.json; wall-time attribution is a real-clock measurement and
+   stays on stderr / in the [_ns]-suffixed JSON fields that determinism
+   comparisons strip (see docs/PROFILING.md). Lazy and shared: the
+   [profile] section prints the tables, the BENCH_sim.json writer embeds
+   the rows, the profiled runs happen once. *)
+
+type profiled_run = {
+  pf_name : string;
+  pf_fingerprint : int;
+  pf_wall_s : float;
+  pf_rows : Prof.row list;
+  pf_census : (string * int) list;
+}
+
+let profile_scenarios () =
+  pinned_perf_scenarios ()
+  @
+  if !paper_scale_enabled then
+    [
+      mk_perf_scenario ~n:150 ~duration:1. ~warmup:0.25 "sailfish-n150-load200"
+        Runner.Full 200;
+    ]
+  else []
+
+let profile_rows =
+  lazy
+    (List.map
+       (fun sc ->
+         Gc.full_major ();
+         Prof.reset ();
+         Prof.set_enabled true;
+         let r, secs = wall (fun () -> Runner.run sc.ps_spec) in
+         Prof.set_enabled false;
+         let rows = Prof.report () in
+         progress "  %-26s %6.2fs wall (profiled, %d sections)\n" sc.ps_name
+           secs (List.length rows);
+         assert r.Runner.agreement;
+         {
+           pf_name = sc.ps_name;
+           pf_fingerprint = r.Runner.commit_fingerprint;
+           pf_wall_s = secs;
+           pf_rows = rows;
+           pf_census = r.Runner.census;
+         })
+       (profile_scenarios ()))
+
+let top_by_self k rows =
+  List.filteri
+    (fun i _ -> i < k)
+    (List.sort (fun a b -> compare b.Prof.self_ns a.Prof.self_ns) rows)
+
+let profile_section () =
+  section_header
+    "Self-profiler — phase/allocation attribution over the pinned scenarios";
+  List.iter
+    (fun pf ->
+      Printf.printf "\n  %s  (fingerprint %#x)\n" pf.pf_name pf.pf_fingerprint;
+      Printf.printf "  %-18s %12s %14s %12s\n" "section" "calls" "minor words"
+        "major words";
+      List.iter
+        (fun (r : Prof.row) ->
+          Printf.printf "  %-18s %12d %14d %12d\n" r.Prof.name r.Prof.calls
+            r.Prof.self_minor_words r.Prof.self_major_words)
+        pf.pf_rows;
+      List.iter
+        (fun (name, words) ->
+          Printf.printf "  %-18s %12s %14d   census live\n" name "" words)
+        pf.pf_census;
+      (* The ranking is by exclusive wall time — machine-dependent, so it
+         goes to stderr with the other timings. *)
+      List.iteri
+        (fun i (r : Prof.row) ->
+          progress "  top%d by self time: %-18s %10.1f ms self\n" (i + 1)
+            r.Prof.name
+            (float_of_int r.Prof.self_ns /. 1e6))
+        (top_by_self 3 pf.pf_rows))
+    (Lazy.force profile_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Attack corpus — every Strategy kind against three protocol shapes
    (dense Sailfish, sparse edges, single-clan tribe), with a benign
    same-seed baseline per shape so the degradation ratios isolate the
@@ -1211,9 +1296,51 @@ let perf () =
       scenarios
   in
   let micros = perf_micro () in
+  (* Tracing overhead: traced vs untraced same-seed wall ratio for the
+     first pinned scenario, measured back-to-back so GC and code-cache
+     state are comparable. The ratio rides in the micro object; being a
+     wall-clock fact, the detail line goes to stderr. *)
+  let trace_overhead =
+    let sc = List.hd scenarios in
+    Gc.full_major ();
+    let plain, plain_s = wall (fun () -> Runner.run sc.ps_spec) in
+    Gc.full_major ();
+    let obs = Obs.create () in
+    let traced, traced_s =
+      wall (fun () -> Runner.run { sc.ps_spec with Runner.obs = Some obs })
+    in
+    if plain.Runner.commit_fingerprint <> traced.Runner.commit_fingerprint
+    then begin
+      Printf.eprintf "  TRACING CHANGED THE RUN on %s\n" sc.ps_name;
+      exit 1
+    end;
+    let ratio = traced_s /. plain_s in
+    progress "  trace overhead (%s): %.2fs untraced, %.2fs traced, x%.3f\n"
+      sc.ps_name plain_s traced_s ratio;
+    ratio
+  in
+  let micros = micros @ [ ("trace_overhead", trace_overhead) ] in
   List.iter
     (fun (k, v) -> progress "  %-26s %14.1f\n" k v)
     micros;
+  (* The profiler must be pure observation: a profiled run's commit
+     fingerprint must match the plain perf run of the same scenario. *)
+  let profiled = Lazy.force profile_rows in
+  List.iter
+    (fun pf ->
+      match
+        List.find_opt
+          (fun (sc, _, _, _, _, _, _, _, _) -> sc.ps_name = pf.pf_name)
+          measured
+      with
+      | Some (_, (r : Runner.result), _, _, _, _, _, _, _) ->
+          if r.Runner.commit_fingerprint <> pf.pf_fingerprint then begin
+            Printf.eprintf "  PROFILER PERTURBED %s: %#x <> %#x\n" pf.pf_name
+              r.Runner.commit_fingerprint pf.pf_fingerprint;
+            exit 1
+          end
+      | None -> ())
+    profiled;
   (* BENCH_sim.json *)
   let b = Buffer.create 4096 in
   let analysis_json =
@@ -1289,6 +1416,48 @@ let perf () =
   Buffer.add_string b "  \"analysis\": {\n";
   Buffer.add_string b (String.concat ",\n" analysis_json);
   Buffer.add_string b "\n  },\n";
+  (* Self-profiler rows: calls/words/census are deterministic per seed;
+     every [_ns]-suffixed key is wall-clock and must be jq-stripped
+     before byte comparisons (docs/PROFILING.md). *)
+  let profiler_json =
+    List.map
+      (fun pf ->
+        let rows =
+          List.map
+            (fun (r : Prof.row) ->
+              Printf.sprintf
+                "        \"%s\": {\"calls\": %d, \"self_minor_words\": %d, \
+                 \"self_major_words\": %d, \"self_ns\": %d, \"incl_ns\": %d}"
+                (json_escape r.Prof.name) r.Prof.calls r.Prof.self_minor_words
+                r.Prof.self_major_words r.Prof.self_ns r.Prof.incl_ns)
+            pf.pf_rows
+        in
+        let census =
+          List.map
+            (fun (name, words) ->
+              Printf.sprintf "        \"%s\": %d" (json_escape name) words)
+            pf.pf_census
+        in
+        let top =
+          List.map
+            (fun (r : Prof.row) ->
+              Printf.sprintf "\"%s\"" (json_escape r.Prof.name))
+            (top_by_self 3 pf.pf_rows)
+        in
+        Printf.sprintf
+          "    \"%s\": {\n      \"commit_fingerprint\": \"%#x\",\n      \
+           \"wall_ns\": %.0f,\n      \"top_by_self_ns\": [%s],\n      \
+           \"sections\": {\n%s\n      },\n      \"census\": {\n%s\n      \
+           }\n    }"
+          (json_escape pf.pf_name) pf.pf_fingerprint (pf.pf_wall_s *. 1e9)
+          (String.concat ", " top)
+          (String.concat ",\n" rows)
+          (String.concat ",\n" census))
+      profiled
+  in
+  Buffer.add_string b "  \"profiler\": {\n";
+  Buffer.add_string b (String.concat ",\n" profiler_json);
+  Buffer.add_string b "\n  },\n";
   let attack_cells = Lazy.force attack_rows in
   Buffer.add_string b "  \"attacks\": [\n";
   List.iteri
@@ -1355,6 +1524,7 @@ let sections =
     ("metrics", metrics);
     ("micro", micro);
     ("analysis", analysis);
+    ("profile", profile_section);
     ("attacks", attacks);
     ("perf", perf);
   ]

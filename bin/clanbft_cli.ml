@@ -2,6 +2,7 @@
 
      clanbft sim        — run a simulated experiment and print metrics
      clanbft sweep      — run a load sweep across worker domains
+     clanbft profile    — run a scenario under the self-profiler (docs/PROFILING.md)
      clanbft analyze    — analyze a recorded JSONL trace (docs/ANALYSIS.md)
      clanbft clan-size  — exact committee sizing (Fig. 1 / §6.2 machinery)
      clanbft rbc        — broadcast one value through a chosen RBC variant
@@ -177,10 +178,10 @@ let sim_cmd =
       "committed %d txns over %d rounds; %d leaders; %.1f MB total traffic@."
       r.committed_txns r.rounds r.leaders_committed
       (float_of_int r.bytes_total /. 1e6);
-    (* Recovery and attack runs print the fingerprint: the CI determinism
-       and agreement gates key on it. *)
-    if restarts <> [] || adversaries <> [] then
-      Format.printf "commit fingerprint: %d@." r.commit_fingerprint;
+    (* The CI determinism and agreement gates key on the fingerprint —
+       including the profile stage, which asserts a profiled run commits
+       the exact sequence an unprofiled one does. *)
+    Format.printf "commit fingerprint: %d@." r.commit_fingerprint;
     if restarts <> [] then
       List.iter
         (fun (node, commits) ->
@@ -542,12 +543,134 @@ let sweep_cmd =
       $ warmup $ seed $ uniform $ restarts_flag $ jobs)
 
 (* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let run n protocol nc q sparse_k load size duration warmup seed uniform
+      persist folded_out json_out =
+    let protocol =
+      match protocol with
+      | `Full -> Runner.Full
+      | `Single ->
+          let nc =
+            match nc with
+            | Some nc -> nc
+            | None -> (
+                let threshold = Bigint.Rat.of_ints 1 1_000_000 in
+                match
+                  Committee.min_clan_size ~n ~f:(Committee.default_f n) ~threshold ()
+                with
+                | Some nc -> nc
+                | None -> n)
+          in
+          Runner.Single_clan { nc }
+      | `Multi -> Runner.Multi_clan { q }
+      | `Sparse -> Runner.Sparse { k = sparse_k }
+    in
+    Prof.set_enabled true;
+    Prof.reset ();
+    let r =
+      Runner.run
+        {
+          Runner.default_spec with
+          n;
+          protocol;
+          txns_per_proposal = load;
+          txn_size = size;
+          duration = Time.s duration;
+          warmup = Time.s warmup;
+          seed = Int64.of_int seed;
+          topology = (match uniform with Some ms -> `Uniform ms | None -> `Gcp);
+          persist;
+        }
+    in
+    Prof.set_enabled false;
+    Format.printf "%a@." Runner.pp_result r;
+    Format.printf "commit fingerprint: %d@." r.commit_fingerprint;
+    print_string (Prof.table ~census:r.census ());
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Prof.folded ());
+        close_out oc;
+        Format.printf "folded stacks -> %s@." path)
+      folded_out;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Prof.to_json ~census:r.census ());
+        close_out oc;
+        Format.printf "profile json -> %s@." path)
+      json_out;
+    if not r.agreement then exit 1
+  in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Tribe size.") in
+  let protocol =
+    Arg.(value & opt protocol_conv `Single
+         & info [ "p"; "protocol" ] ~doc:"full | single-clan | multi-clan | sparse.")
+  in
+  let nc =
+    Arg.(value & opt (some int) None
+         & info [ "clan-size" ] ~doc:"Clan size (single-clan); default: exact minimum at 1e-6.")
+  in
+  let q = Arg.(value & opt int 2 & info [ "clans" ] ~doc:"Clan count (multi-clan).") in
+  let sparse_k =
+    Arg.(value & opt int 3
+         & info [ "sparse-k" ]
+             ~doc:"Sampled strong parents per vertex (sparse protocol).")
+  in
+  let load =
+    Arg.(value & opt int 500 & info [ "load" ] ~doc:"Transactions per proposal.")
+  in
+  let size = Arg.(value & opt int 512 & info [ "txn-size" ] ~doc:"Transaction bytes.") in
+  let duration = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Simulated seconds.") in
+  let warmup = Arg.(value & opt float 3.0 & info [ "warmup" ] ~doc:"Warm-up seconds.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let uniform =
+    Arg.(value & opt (some float) None
+         & info [ "uniform" ] ~doc:"Uniform one-way delay (ms) instead of the GCP topology.")
+  in
+  let persist =
+    Arg.(value & flag
+         & info [ "persist" ]
+             ~doc:"Run every replica over the simulated persistence layer \
+                   (exercises the WAL sections).")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded call stacks (one $(b,a;b;c microseconds) line \
+                   per call path) for flamegraph.pl or speedscope.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the profile as JSON (schema $(b,clanbft/profile/v1)); \
+                   $(b,*_ns) fields are wall-clock and non-deterministic, \
+                   everything else is byte-stable per seed.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a simulated scenario under the deterministic self-profiler: \
+             per-section call counts, self/total wall time, allocation \
+             attribution and a per-subsystem heap census (docs/PROFILING.md). \
+             Profiling is pure observation — the run's commit fingerprint is \
+             identical to an unprofiled run with the same seed.")
+    Term.(
+      const run $ n $ protocol $ nc $ q $ sparse_k $ load $ size $ duration
+      $ warmup $ seed $ uniform $ persist $ folded_out $ json_out)
+
+(* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run trace_file json stall_factor =
+  let run trace_file json stall_factor top_slow =
     if stall_factor <= 0.0 then begin
       prerr_endline "--stall-factor must be positive";
+      exit 2
+    end;
+    if top_slow < 0 then begin
+      prerr_endline "--top-slow must be non-negative";
       exit 2
     end;
     let records = Analyze.load_jsonl trace_file in
@@ -556,7 +679,35 @@ let analyze_cmd =
       exit 2
     end;
     let report = Analyze.analyze ~stall_factor records in
-    print_string (if json then Analyze.to_json report else Analyze.human report)
+    print_string (if json then Analyze.to_json report else Analyze.human report);
+    if top_slow > 0 && not json then begin
+      let slowest =
+        List.stable_sort
+          (fun (a : Analyze.path) (b : Analyze.path) ->
+            compare (b.p_commit - b.p_origin) (a.p_commit - a.p_origin))
+          report.Analyze.paths
+      in
+      let rec take k = function
+        | x :: tl when k > 0 -> x :: take (k - 1) tl
+        | _ -> []
+      in
+      let ms us = float_of_int us /. 1000.0 in
+      Printf.printf "\nSlowest commits (top %d of %d, creation -> commit)\n"
+        (min top_slow (List.length slowest))
+        (List.length slowest);
+      Printf.printf "  %-5s %-6s %-5s %9s" "node" "round" "src" "total";
+      Array.iter
+        (fun s -> Printf.printf " %13s" (Analyze.segment_name s))
+        Analyze.all_segments;
+      print_newline ();
+      List.iter
+        (fun (p : Analyze.path) ->
+          Printf.printf "  %-5d %-6d %-5d %7.1fms" p.p_node p.p_round p.p_source
+            (ms (p.p_commit - p.p_origin));
+          Array.iter (fun v -> Printf.printf " %11.1fms" (ms v)) p.p_segments;
+          print_newline ())
+        (take top_slow slowest)
+    end
   in
   let trace_file =
     Arg.(required & opt (some file) None
@@ -576,12 +727,18 @@ let analyze_cmd =
              ~doc:"Flag a liveness stall when a progress gap exceeds this \
                    multiple of the median inter-progress gap.")
   in
+  let top_slow =
+    Arg.(value & opt int 0
+         & info [ "top-slow" ] ~docv:"K"
+             ~doc:"Also print the K slowest commits with their five-segment \
+                   critical-path breakdown (human report only).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Analyze a recorded trace: commit critical-path attribution, \
              round timelines, uplink queueing, liveness stall detection \
              (docs/ANALYSIS.md)")
-    Term.(const run $ trace_file $ json $ stall_factor)
+    Term.(const run $ trace_file $ json $ stall_factor $ top_slow)
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -836,6 +993,7 @@ let () =
           [
             sim_cmd;
             sweep_cmd;
+            profile_cmd;
             analyze_cmd;
             check_cmd;
             clan_size_cmd;

@@ -196,16 +196,16 @@ fi
 echo "  grief stalls attributed to grief_leader(3)"
 # Bad adversary specs must be rejected cleanly (exit 2), never crash.
 for bad in "3@bogus" "99@grief" "3@censor:xx" "3@grief:1.5"; do
+  rc=0
   dune exec bin/clanbft_cli.exe -- sim -n 16 --duration 1 \
-    --adversary "$bad" >/dev/null 2>&1
-  rc=$?
+    --adversary "$bad" >/dev/null 2>&1 || rc=$?
   if [ "$rc" -ne 2 ]; then
     echo "bad adversary spec '$bad' exited $rc, expected 2"
     exit 1
   fi
 done
-dune exec bin/clanbft_cli.exe -- check --adversary grief -n 4 >/dev/null 2>&1
-rc=$?
+rc=0
+dune exec bin/clanbft_cli.exe -- check --adversary grief -n 4 >/dev/null 2>&1 || rc=$?
 if [ "$rc" -ne 2 ]; then
   echo "check --adversary grief without --model sailfish exited $rc, expected 2"
   exit 1
@@ -261,6 +261,71 @@ if command -v jq >/dev/null 2>&1; then
     echo "analysis JSON failed schema validation"
     exit 1
   }
+fi
+rm -rf "$smoke_dir"
+
+echo "== profile smoke (self-profiler: pure observation, deterministic modulo *_ns) =="
+smoke_dir=$(mktemp -d)
+# The profiler must not perturb the run: a profiled run's commit
+# fingerprint must equal an unprofiled same-seed run's.
+dune exec bin/clanbft_cli.exe -- sim -n 16 -p full --load 200 \
+  --duration 4 --warmup 1 --seed 7 >"$smoke_dir/plain" 2>/dev/null
+dune exec bin/clanbft_cli.exe -- profile -n 16 -p full --load 200 \
+  --duration 4 --warmup 1 --seed 7 --folded "$smoke_dir/p1.folded" \
+  --json "$smoke_dir/p1.json" >"$smoke_dir/prof1" 2>/dev/null
+dune exec bin/clanbft_cli.exe -- profile -n 16 -p full --load 200 \
+  --duration 4 --warmup 1 --seed 7 --json "$smoke_dir/p2.json" \
+  >"$smoke_dir/prof2" 2>/dev/null
+fp_plain=$(awk -F': ' '/^commit fingerprint/ { print $2 }' "$smoke_dir/plain")
+fp_prof=$(awk -F': ' '/^commit fingerprint/ { print $2 }' "$smoke_dir/prof1")
+if [ -z "$fp_plain" ] || [ "$fp_plain" != "$fp_prof" ]; then
+  echo "profiled run diverged from unprofiled same-seed run ($fp_prof vs $fp_plain)"
+  exit 1
+fi
+# The folded-stack export is non-empty and every line is "path <self_us>".
+test -s "$smoke_dir/p1.folded" || {
+  echo "folded-stack export is empty"
+  exit 1
+}
+if grep -qvE '^[^ ]+ [0-9]+$' "$smoke_dir/p1.folded"; then
+  echo "malformed folded-stack line:"
+  grep -vE '^[^ ]+ [0-9]+$' "$smoke_dir/p1.folded" | head -3
+  exit 1
+fi
+grep -q '^engine.dispatch;' "$smoke_dir/p1.folded" || {
+  echo "folded stacks missing the engine.dispatch tree"
+  exit 1
+}
+if command -v jq >/dev/null 2>&1; then
+  # Deterministic fields (calls, words, census, tree shape) are
+  # byte-identical across same-seed runs once the wall-clock *_ns
+  # fields are stripped (docs/PROFILING.md).
+  strip_ns='walk(if type == "object"
+                 then with_entries(select(.key | endswith("_ns") | not))
+                 else . end)'
+  jq -S "$strip_ns" "$smoke_dir/p1.json" >"$smoke_dir/p1.stripped"
+  jq -S "$strip_ns" "$smoke_dir/p2.json" >"$smoke_dir/p2.stripped"
+  if ! cmp -s "$smoke_dir/p1.stripped" "$smoke_dir/p2.stripped"; then
+    echo "profile deterministic fields differ between two same-seed runs"
+    diff "$smoke_dir/p1.stripped" "$smoke_dir/p2.stripped" | head -20
+    exit 1
+  fi
+  jq -e '.schema == "clanbft/profile/v1"
+         and (.sections | length) > 0
+         and (.sections | map(.name) | index("engine.dispatch") != null)
+         and (.census | length) > 0
+         and (.census | map(.subsystem) | index("dag.store") != null)' \
+    "$smoke_dir/p1.json" >/dev/null || {
+    echo "profile JSON failed schema validation"
+    exit 1
+  }
+  echo "profile deterministic fields byte-identical; fingerprint $fp_prof matches unprofiled"
+else
+  grep -qF '"schema": "clanbft/profile/v1"' "$smoke_dir/p1.json" || {
+    echo "profile JSON missing schema"
+    exit 1
+  }
+  echo "profile fingerprint $fp_prof matches unprofiled (jq absent: strip-compare skipped)"
 fi
 rm -rf "$smoke_dir"
 

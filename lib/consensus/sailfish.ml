@@ -8,6 +8,11 @@ module Store = Clanbft_dag.Store
 module Obs = Clanbft_obs.Obs
 module Metrics = Clanbft_obs.Metrics
 module Trace = Clanbft_obs.Trace
+module Prof = Clanbft_obs.Prof
+
+let sec_propose = Prof.section "sailfish.propose"
+let sec_echo = Prof.section "sailfish.echo"
+let sec_commit = Prof.section "sailfish.commit"
 
 let src_log = Logs.Src.create "clanbft.sailfish" ~doc:"Sailfish consensus"
 
@@ -479,6 +484,7 @@ and maybe_echo t slot =
 (* --- ECHO / certificate -------------------------------------------- *)
 
 and on_echo t ~round ~source ~digest ~signer ~signature =
+  Prof.enter sec_echo;
   (* Slot and vote state are looked up before signature verification so the
      memoized signing string can be reused; a forged echo still only ever
      creates empty bookkeeping, never a vote. *)
@@ -528,7 +534,8 @@ and on_echo t ~round ~source ~digest ~signer ~signature =
         end
       end
     end
-  end
+  end;
+  Prof.leave sec_echo
 
 and on_echo_cert t ~round ~source ~digest ~agg =
   let slot = slot_of t ~round ~source in
@@ -937,6 +944,7 @@ and register_vote t (v : Vertex.t) =
   end
 
 and try_commit t =
+  Prof.enter sec_commit;
   (* Process direct-commit-ready leader rounds in ascending order; each one
      drags in skipped leaders reachable by strong paths (indirect rule). *)
   let rec next_ready r best =
@@ -953,7 +961,7 @@ and try_commit t =
       next_ready (r + 1) best
     end
   in
-  match next_ready (t.last_committed + 1) None with
+  (match next_ready (t.last_committed + 1) None with
   | None -> ()
   | Some r ->
       let leader_vertex s =
@@ -1002,7 +1010,8 @@ and try_commit t =
         !chain;
       t.last_committed <- r;
       garbage_collect t;
-      try_commit t
+      try_commit t);
+  Prof.leave sec_commit
 
 and garbage_collect t =
   let horizon = t.last_committed - t.params.gc_depth in
@@ -1123,6 +1132,7 @@ and mark_covered t refs =
   List.iter visit refs
 
 and propose t r =
+  Prof.enter sec_propose;
   t.proposed <- true;
   (* Journal the round before any VAL leaves: after a crash the replayed
      marker forbids re-proposing it, so we can never equivocate. *)
@@ -1212,7 +1222,8 @@ and propose t r =
     in
     Net.send t.net ~src:t.me ~dst
       (Msg.Val { vertex; block = block_copy; signature })
-  done
+  done;
+  Prof.leave sec_propose
 
 and arm_timer t =
   t.timer_epoch <- t.timer_epoch + 1;
@@ -1356,6 +1367,35 @@ let start_recovery t =
 
 let block_of t ~round ~source = Hashtbl.find_opt t.blocks (round, source)
 let vertex_of t ~round ~source = Store.find t.store ~round ~source
+
+(* Heap census: this layer's retained state, split by subsystem. Slot
+   bookkeeping is estimated flat (vote bitsets + share lists scale with n);
+   stored blocks are charged at their wire size. See docs/PROFILING.md. *)
+let census t =
+  let n = Config.n t.config in
+  let slot_words = Hashtbl.length t.slots * (24 + n) in
+  let pending_words =
+    Hashtbl.fold
+      (fun _ (v : Vertex.t) acc ->
+        acc + 22 + (9 * (Array.length v.strong_edges + Array.length v.weak_edges)))
+      t.pending 0
+  in
+  let aux_words =
+    6
+    * (Hashtbl.length t.waiters + Hashtbl.length t.ordered
+      + Hashtbl.length t.covered + Hashtbl.length t.uncovered
+      + Hashtbl.length t.leader_votes + Hashtbl.length t.timeout_shares
+      + Hashtbl.length t.no_vote_shares)
+  in
+  let block_words =
+    Hashtbl.fold (fun _ b acc -> acc + 8 + (Block.wire_size b / 8)) t.blocks 0
+  in
+  [
+    ("consensus.blocks", block_words);
+    ("consensus.state", slot_words + pending_words + aux_words);
+    ("dag.store", Store.approx_live_words t.store);
+    ("keychain", Keychain.approx_live_words t.keychain);
+  ]
 
 let create ~me ~config ~keychain ~engine ~net ?(params = default_params)
     ?(obs = Obs.disabled) ~make_block ~on_commit ?(on_block = fun _ -> ())

@@ -159,6 +159,11 @@ val block_of : t -> round:int -> source:int -> Block.t option
 
 val dag_size : t -> int
 
+val census : t -> (string * int) list
+(** Heap-census rows for this node's consensus layer:
+    [consensus.blocks], [consensus.state], [dag.store] and [keychain]
+    approximate live words. See docs/PROFILING.md. *)
+
 (** Low-level hooks for fault-injection tests: a Byzantine "node" is built
     by driving the network directly, but tests also need to peek at honest
     state. *)

@@ -47,6 +47,7 @@ module Obs = Clanbft_obs.Obs
 module Trace = Clanbft_obs.Trace
 module Metrics = Clanbft_obs.Metrics
 module Analyze = Clanbft_obs.Analyze
+module Prof = Clanbft_obs.Prof
 
 (** {1 Committee analysis (paper §5 / §6.2)} *)
 

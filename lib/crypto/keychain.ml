@@ -1,4 +1,8 @@
 module Bitset = Clanbft_util.Bitset
+module Prof = Clanbft_obs.Prof
+
+let sec_sign = Prof.section "keychain.sign"
+let sec_verify = Prof.section "keychain.verify"
 
 type t = {
   (* Per-party MAC keys. A signature is a keyed pseudo-random function of
@@ -106,6 +110,7 @@ let hash_msg msg = { h0 = msg_hash0 msg; h1 = msg_hash1 msg }
 
 let sign t ~signer msg =
   if signer < 0 || signer >= n t then invalid_arg "Keychain.sign: bad signer";
+  Prof.enter sec_sign;
   let k0 = Array.unsafe_get t.k0 signer
   and k1 = Array.unsafe_get t.k1 signer in
   let h0 = msg_hash0 msg and h1 = msg_hash1 msg in
@@ -113,18 +118,25 @@ let sign t ~signer msg =
   for i = 0 to 3 do
     set_lane b (8 * i) (lane ~k0 ~k1 ~h0 ~h1 i)
   done;
-  Bytes.unsafe_to_string b
+  let s = Bytes.unsafe_to_string b in
+  Prof.leave sec_sign;
+  s
 
 let verify_hashed t ~signer { h0; h1 } signature =
-  signer >= 0 && signer < n t
-  && String.length signature = 32
-  &&
-  let k0 = Array.unsafe_get t.k0 signer
-  and k1 = Array.unsafe_get t.k1 signer in
-  lane_matches signature 0 (lane ~k0 ~k1 ~h0 ~h1 0)
-  && lane_matches signature 8 (lane ~k0 ~k1 ~h0 ~h1 1)
-  && lane_matches signature 16 (lane ~k0 ~k1 ~h0 ~h1 2)
-  && lane_matches signature 24 (lane ~k0 ~k1 ~h0 ~h1 3)
+  Prof.enter sec_verify;
+  let ok =
+    signer >= 0 && signer < n t
+    && String.length signature = 32
+    &&
+    let k0 = Array.unsafe_get t.k0 signer
+    and k1 = Array.unsafe_get t.k1 signer in
+    lane_matches signature 0 (lane ~k0 ~k1 ~h0 ~h1 0)
+    && lane_matches signature 8 (lane ~k0 ~k1 ~h0 ~h1 1)
+    && lane_matches signature 16 (lane ~k0 ~k1 ~h0 ~h1 2)
+    && lane_matches signature 24 (lane ~k0 ~k1 ~h0 ~h1 3)
+  in
+  Prof.leave sec_verify;
+  ok
 
 let verify t ~signer msg signature =
   verify_hashed t ~signer (hash_msg msg) signature
@@ -181,7 +193,10 @@ let expected_tag_hashed t ~hash:{ h0; h1 } agg =
       e
 
 let verify_aggregate_hashed t ~hash agg =
-  String.equal agg.tag (expected_tag_hashed t ~hash agg)
+  Prof.enter sec_verify;
+  let ok = String.equal agg.tag (expected_tag_hashed t ~hash agg) in
+  Prof.leave sec_verify;
+  ok
 
 let verify_aggregate t ~msg agg =
   verify_aggregate_hashed t ~hash:(hash_msg msg) agg
@@ -201,6 +216,7 @@ let aggregate_tag agg = agg.tag
 let aggregate_of_wire ~tag ~signers =
   { tag; who = signers; parts = []; expected = None }
 let signature_to_raw s = s
+let approx_live_words t = (2 * (Array.length t.k0 + 1)) + 3
 
 let signature_of_raw s =
   if String.length s <> 32 then invalid_arg "Keychain.signature_of_raw";

@@ -178,9 +178,14 @@ let finalize ctx =
   done;
   Bytes.unsafe_to_string out
 
+let sec_digest = Clanbft_obs.Prof.section "sha256"
+
 let digest_string s =
+  Clanbft_obs.Prof.enter sec_digest;
   let ctx = init () in
   feed_string ctx s;
-  finalize ctx
+  let d = finalize ctx in
+  Clanbft_obs.Prof.leave sec_digest;
+  d
 
 let hex_of_string s = Clanbft_util.Hex.encode (digest_string s)

@@ -1,4 +1,9 @@
 open Clanbft_types
+module Prof = Clanbft_obs.Prof
+
+let sec_insert = Prof.section "dag.insert"
+let sec_prune = Prof.section "dag.prune"
+let sec_parents = Prof.section "dag.parents"
 
 type t = {
   n : int;
@@ -47,6 +52,7 @@ let ref_satisfied t (r : Vertex.vref) = r.round < t.floor || find_ref t r <> Non
    slot array is resolved with a single table lookup instead of one per
    edge. Weak edges are rare and probed individually. *)
 let parents_present t (v : Vertex.t) =
+  Prof.enter sec_parents;
   let strong_ok =
     Array.length v.strong_edges = 0
     || v.round - 1 < t.floor
@@ -63,28 +69,39 @@ let parents_present t (v : Vertex.t) =
             | None -> false)
           v.strong_edges
   in
-  strong_ok && Array.for_all (ref_satisfied t) v.weak_edges
+  let ok = strong_ok && Array.for_all (ref_satisfied t) v.weak_edges in
+  Prof.leave sec_parents;
+  ok
 
 let missing_parents t (v : Vertex.t) =
+  Prof.enter sec_parents;
   let acc = ref [] in
   Vertex.iter_edges v (fun r -> if not (ref_satisfied t r) then acc := r :: !acc);
-  List.rev !acc
+  let missing = List.rev !acc in
+  Prof.leave sec_parents;
+  missing
 
 let add t (v : Vertex.t) =
   if v.round < t.floor then invalid_arg "Store.add: below pruned horizon";
+  Prof.enter sec_insert;
   (match find t ~round:v.round ~source:v.source with
   | Some existing ->
-      if not (Clanbft_crypto.Digest32.equal existing.digest v.digest) then
+      if not (Clanbft_crypto.Digest32.equal existing.digest v.digest) then begin
+        Prof.leave sec_insert;
         invalid_arg "Store.add: conflicting vertex for an occupied slot"
+      end
   | None ->
-      if not (parents_present t v) then
-        invalid_arg "Store.add: parent missing";
+      if not (parents_present t v) then begin
+        Prof.leave sec_insert;
+        invalid_arg "Store.add: parent missing"
+      end;
       (slots t v.round).(v.source) <- Some v;
       (match Hashtbl.find_opt t.counts v.round with
       | Some c -> incr c
       | None -> Hashtbl.replace t.counts v.round (ref 1));
       t.size <- t.size + 1;
-      if v.round > t.highest then t.highest <- v.round)
+      if v.round > t.highest then t.highest <- v.round);
+  Prof.leave sec_insert
 
 let vertices_at t round =
   match Hashtbl.find_opt t.rounds round with
@@ -148,6 +165,7 @@ let floor t = t.floor
 
 let prune_below t ~round =
   if round > t.floor then begin
+    Prof.enter sec_prune;
     (* Key-driven when the gap outnumbers the live rounds: after a long
        idle stretch or a snapshot join the floor can jump by millions of
        rounds while the store holds only a handful, so iterating the
@@ -178,7 +196,29 @@ let prune_below t ~round =
       in
       List.iter drop doomed
     end;
-    t.floor <- round
+    t.floor <- round;
+    Prof.leave sec_prune
   end
 
 let size t = t.size
+
+(* Heap census: slot arrays plus a flat per-vertex estimate (header, two
+   digests, edge arrays at one vref = ~9 words each, cached wire size).
+   Payload bytes live in the block store, not here. *)
+let approx_live_words t =
+  let words =
+    ref (Hashtbl.length t.rounds * (t.n + 8) + Hashtbl.length t.counts * 6)
+  in
+  Hashtbl.iter
+    (fun _ a ->
+      Array.iter
+        (function
+          | Some (v : Vertex.t) ->
+              words :=
+                !words + 22
+                + (9 * Array.length v.strong_edges)
+                + (9 * Array.length v.weak_edges)
+          | None -> ())
+        a)
+    t.rounds;
+  !words

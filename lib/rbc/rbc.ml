@@ -5,6 +5,12 @@ module Net = Clanbft_sim.Net
 module Obs = Clanbft_obs.Obs
 module Metrics = Clanbft_obs.Metrics
 module Trace = Clanbft_obs.Trace
+module Prof = Clanbft_obs.Prof
+
+let sec_val = Prof.section "rbc.val"
+let sec_echo = Prof.section "rbc.echo"
+let sec_ready = Prof.section "rbc.ready"
+let sec_cert = Prof.section "rbc.cert"
 
 type protocol = Bracha | Signed_two_round | Tribe_bracha | Tribe_signed
 
@@ -482,24 +488,36 @@ and handle t ~src m =
       (* The VAL must come from its claimed sender (authenticated
          channels); anything else is discarded. *)
       if src = sender then begin
+        Prof.enter sec_val;
         let inst = instance_of t ~sender ~round in
         trace_phase t inst Trace.Val;
-        handle_val t inst value
+        handle_val t inst value;
+        Prof.leave sec_val
       end
   | Val_digest { sender; round; digest } ->
       if src = sender then begin
+        Prof.enter sec_val;
         let inst = instance_of t ~sender ~round in
         trace_phase t inst Trace.Val;
-        handle_val_digest t inst digest
+        handle_val_digest t inst digest;
+        Prof.leave sec_val
       end
   | Echo { sender; round; digest; signer; signature } ->
-      if src = signer then
-        handle_echo t (instance_of t ~sender ~round) ~digest ~signer ~signature
+      if src = signer then begin
+        Prof.enter sec_echo;
+        handle_echo t (instance_of t ~sender ~round) ~digest ~signer ~signature;
+        Prof.leave sec_echo
+      end
   | Ready { sender; round; digest; signer; signature = _ } ->
-      if src = signer then
-        handle_ready t (instance_of t ~sender ~round) ~digest ~signer
+      if src = signer then begin
+        Prof.enter sec_ready;
+        handle_ready t (instance_of t ~sender ~round) ~digest ~signer;
+        Prof.leave sec_ready
+      end
   | Echo_cert { sender; round; digest; agg } ->
-      handle_echo_cert t (instance_of t ~sender ~round) ~digest ~agg
+      Prof.enter sec_cert;
+      handle_echo_cert t (instance_of t ~sender ~round) ~digest ~agg;
+      Prof.leave sec_cert
   | Pull_request { sender; round } ->
       handle_pull_request t (instance_of t ~sender ~round) ~src
   | Pull_reply { sender; round; value } ->

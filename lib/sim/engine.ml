@@ -1,4 +1,11 @@
 module Heap = Clanbft_util.Heap
+module Prof = Clanbft_obs.Prof
+
+(* Self-profiler sections (docs/PROFILING.md): resolved once at module
+   initialisation; disabled probes cost one branch each. *)
+let sec_dispatch = Prof.section "engine.dispatch"
+let sec_scan = Prof.section "engine.ring_scan"
+let sec_migrate = Prof.section "engine.migrate"
 
 (* The event queue is a calendar (bucket ring) keyed by microsecond
    timestamp: large experiments keep millions of events in flight, and a
@@ -159,6 +166,7 @@ let drop_choice t id =
 
 (* Move overflow events that now fit in the ring. *)
 let migrate t =
+  Prof.enter sec_migrate;
   let rec go () =
     match Heap.peek_priority t.overflow with
     | Some time when time - t.clock < Array.length t.ring ->
@@ -168,7 +176,8 @@ let migrate t =
         go ()
     | Some _ | None -> ()
   in
-  go ()
+  go ();
+  Prof.leave sec_migrate
 
 (* Earliest non-empty ring bucket at a time in (clock, clock + horizon), by
    walking the occupancy summary's set bits. Buckets are visited in
@@ -184,26 +193,31 @@ let[@inline] bucket_time t ~start w bits =
   t.clock + 1 + ((idx - start) land (Array.length t.ring - 1))
 
 let scan_ring t =
+  Prof.enter sec_scan;
   let start = (t.clock + 1) land (Array.length t.ring - 1) in
   let w0 = start lsr summary_shift and b0 = start land 31 in
   let bits0 = t.summary.(w0) land (word_mask lsl b0) land word_mask in
-  if bits0 <> 0 then bucket_time t ~start w0 bits0
-  else begin
-    let res = ref max_int in
-    let i = ref 1 in
-    while !res = max_int && !i < Array.length t.summary do
-      let w = (w0 + !i) land (Array.length t.summary - 1) in
-      let bits = t.summary.(w) in
-      if bits <> 0 then res := bucket_time t ~start w bits;
-      incr i
-    done;
-    if !res = max_int then begin
-      (* Wrapped: only the start word's low bits remain unseen. *)
-      let bits = t.summary.(w0) land ((1 lsl b0) - 1) in
-      if bits <> 0 then res := bucket_time t ~start w0 bits
-    end;
-    !res
-  end
+  let time =
+    if bits0 <> 0 then bucket_time t ~start w0 bits0
+    else begin
+      let res = ref max_int in
+      let i = ref 1 in
+      while !res = max_int && !i < Array.length t.summary do
+        let w = (w0 + !i) land (Array.length t.summary - 1) in
+        let bits = t.summary.(w) in
+        if bits <> 0 then res := bucket_time t ~start w bits;
+        incr i
+      done;
+      if !res = max_int then begin
+        (* Wrapped: only the start word's low bits remain unseen. *)
+        let bits = t.summary.(w0) land ((1 lsl b0) - 1) in
+        if bits <> 0 then res := bucket_time t ~start w0 bits
+      end;
+      !res
+    end
+  in
+  Prof.leave sec_scan;
+  time
 
 (* Time of the next pending event, advancing the clock up to (but not past)
    it. Returns [None] when the queue is empty. *)
@@ -256,7 +270,9 @@ let step t =
   | Some ev ->
       t.pending <- t.pending - 1;
       t.processed <- t.processed + 1;
+      Prof.enter sec_dispatch;
       (match ev with Fn fn -> fn () | Ix (fn, arg) -> fn arg);
+      Prof.leave sec_dispatch;
       true
 
 let run ?until ?max_events t =
@@ -286,3 +302,14 @@ let run ?until ?max_events t =
 
 let pending t = t.pending
 let events_processed t = t.processed
+
+(* Heap-census hook (docs/PROFILING.md): a conservative word estimate of
+   this engine's live structures. Ring and summary arrays dominate; each
+   pending ring event costs a cons cell (3 words) plus its event cell (an
+   [Ix] is 3 words, an [Fn] closure typically a few more — call it 6);
+   overflow entries sit unboxed in two parallel array slots. *)
+let approx_live_words t =
+  Array.length t.ring + Array.length t.summary
+  + (t.pending * 9)
+  + (2 * Heap.length t.overflow)
+  + (12 * Hashtbl.length t.pool)

@@ -104,3 +104,8 @@ val step : t -> bool
 
 val pending : t -> int
 val events_processed : t -> int
+
+val approx_live_words : t -> int
+(** Heap-census hook: conservative estimate of the words held live by this
+    engine (ring + summary arrays, pending event cells, overflow heap,
+    choice pool). See docs/PROFILING.md. *)

@@ -113,4 +113,9 @@ val bytes_received : _ t -> int -> int
 val messages_sent : _ t -> int -> int
 val total_bytes : _ t -> int
 val total_messages : _ t -> int
+
+val approx_live_words : _ t -> int
+(** Heap-census hook: conservative word estimate of the pooled delivery
+    cells, free stack and per-node arrays. See docs/PROFILING.md. *)
+
 val reset_metrics : _ t -> unit

@@ -142,6 +142,13 @@ let create ~me ~config ~keychain ~engine ~net ?params ?obs
 
 let start t = Sailfish.start (consensus t)
 
+let census t =
+  (("mempool", Mempool.approx_live_words t.mempool)
+  :: (match t.persist with
+     | Some p -> [ ("wal", Persist.approx_live_words p) ]
+     | None -> []))
+  @ Sailfish.census (consensus t)
+
 (* ------------------------------------------------------------------ *)
 (* Crash recovery *)
 

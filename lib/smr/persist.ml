@@ -1,4 +1,8 @@
 open Clanbft_sim
+module Prof = Clanbft_obs.Prof
+
+let sec_append = Prof.section "wal.append"
+let sec_replay = Prof.section "wal.replay"
 
 type t = {
   engine : Engine.t;
@@ -70,6 +74,7 @@ let backlog t = t.backlog
 (* Write-ahead log *)
 
 let wal_append t ~key ~data =
+  Prof.enter sec_append;
   if not (Hashtbl.mem t.wal_seen key) then begin
     Hashtbl.replace t.wal_seen key ();
     Hashtbl.replace t.wal_pending key ();
@@ -79,15 +84,34 @@ let wal_append t ~key ~data =
         t.wal_keys <- key :: t.wal_keys;
         t.wal_count <- t.wal_count + 1)
       ()
-  end
+  end;
+  Prof.leave sec_append
 
 let wal_size t = t.wal_count
 
 let wal_iter t f =
+  Prof.enter sec_replay;
   List.iter
     (fun key ->
       match get t ~key with Some data -> f ~key ~data | None -> ())
-    (List.rev t.wal_keys)
+    (List.rev t.wal_keys);
+  Prof.leave sec_replay
+
+(* Heap census: durable keys/payloads plus WAL bookkeeping. Keys in
+   [wal_seen]/[wal_pending] are shared with [durable], so those tables
+   contribute bucket overhead only. *)
+let approx_live_words t =
+  let words = ref (16 + (3 * List.length t.wal_keys)) in
+  Hashtbl.iter
+    (fun key data ->
+      words :=
+        !words + 6
+        + ((String.length key + 8) / 8)
+        + (match data with
+          | Some d -> 2 + ((String.length d + 8) / 8)
+          | None -> 0))
+    t.durable;
+  !words + (4 * (Hashtbl.length t.wal_seen + Hashtbl.length t.wal_pending))
 
 let crash t =
   t.epoch <- t.epoch + 1;

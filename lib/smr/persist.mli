@@ -60,6 +60,10 @@ val wal_iter : t -> (key:string -> data:string -> unit) -> unit
 (** Iterate durable records in durability order — the disk queue is FIFO,
     so this equals append order, and a prefix of it survives any crash. *)
 
+val approx_live_words : t -> int
+(** Heap-census hook: word estimate of the durable table (keys and stored
+    payloads) and WAL bookkeeping. See docs/PROFILING.md. *)
+
 val crash : t -> unit
 (** Simulate the node's process dying: writes scheduled but not yet
     durable are lost (their [on_durable] callbacks never fire, and WAL

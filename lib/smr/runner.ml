@@ -82,6 +82,7 @@ type result = {
   commit_fingerprint : int;
   commit_chain : int array;
   post_recovery_commits : (int * int) list;
+  census : (string * int) list;
 }
 
 (* Growable int array for per-node commit-prefix hashes. *)
@@ -366,6 +367,23 @@ let run spec =
       (List.length honest_vecs)
       honest_vecs
   in
+  (* End-of-run heap census: per-subsystem live words summed across
+     replicas, plus the shared engine/net/trace state. Every contribution
+     is a deterministic function of end-of-run data structures, so the
+     table is byte-identical across same-seed runs. *)
+  let census =
+    let tbl = Hashtbl.create 16 in
+    let bump (name, w) =
+      Hashtbl.replace tbl name
+        (w + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+    in
+    Array.iter (fun node -> List.iter bump (Node.census node)) nodes;
+    bump ("sim.engine", Engine.approx_live_words engine);
+    bump ("sim.net", Net.approx_live_words net);
+    bump ("obs.trace", Clanbft_obs.Trace.approx_live_words obs.Obs.trace);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let window_s = Time.to_s (spec.duration - spec.warmup) in
   let max_round =
     Array.fold_left
@@ -406,6 +424,7 @@ let run spec =
       List.map
         (fun (r : Faults.restart) -> (r.node, post_recovery.(r.node)))
         spec.restarts;
+    census;
   }
 
 (* Streamed tracing: every event goes straight to the JSONL file as it is

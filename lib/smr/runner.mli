@@ -109,6 +109,11 @@ type result = {
           [recover_at] (WAL replay fires exactly at [recover_at], so this
           counts genuinely new post-recovery progress). Empty when
           [restarts] is empty. *)
+  census : (string * int) list;
+      (** End-of-run heap census, sorted by subsystem name: approximate
+          live words per subsystem, summed across replicas, plus the shared
+          engine/net/trace state. Deterministic per seed (a function of
+          end-of-run data-structure sizes). See docs/PROFILING.md. *)
 }
 
 val run : spec -> result

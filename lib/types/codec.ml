@@ -1,5 +1,9 @@
 open Clanbft_crypto
 module Bitset = Clanbft_util.Bitset
+module Prof = Clanbft_obs.Prof
+
+let sec_encode = Prof.section "codec.encode"
+let sec_decode = Prof.section "codec.decode"
 
 exception Decode_error of string
 
@@ -306,6 +310,7 @@ let read_block_opt r =
 (* Messages *)
 
 let encode ~n msg =
+  Prof.enter sec_encode;
   let b = W.create () in
   (match msg with
   | Msg.Val { vertex; block; signature } ->
@@ -363,9 +368,11 @@ let encode ~n msg =
       W.u32 b floor;
       (* [highest] is -1 for an empty store; bias by one to stay in u32. *)
       W.u32 b (highest + 1));
-  Buffer.contents b
+  let s = Buffer.contents b in
+  Prof.leave sec_encode;
+  s
 
-let decode ~n ?(compact = false) s =
+let decode_raw ~n ~compact s =
   let r = R.create s in
   let msg =
     match R.u8 r with
@@ -424,24 +431,38 @@ let decode ~n ?(compact = false) s =
   R.eof r;
   msg
 
+let decode ~n ?(compact = false) s =
+  Prof.enter sec_decode;
+  match decode_raw ~n ~compact s with
+  | msg ->
+      Prof.leave sec_decode;
+      msg
+  | exception e ->
+      Prof.leave sec_decode;
+      raise e
+
 let encode_vertex ~n v =
-  let b = W.create () in
-  write_vertex b ~n v;
-  Buffer.contents b
+  Prof.span sec_encode (fun () ->
+      let b = W.create () in
+      write_vertex b ~n v;
+      Buffer.contents b)
 
 let decode_vertex ~n ?(compact = false) s =
-  let r = R.create s in
-  let v = read_vertex r ~n ~compact in
-  R.eof r;
-  v
+  Prof.span sec_decode (fun () ->
+      let r = R.create s in
+      let v = read_vertex r ~n ~compact in
+      R.eof r;
+      v)
 
 let encode_block blk =
-  let b = W.create () in
-  write_block b blk;
-  Buffer.contents b
+  Prof.span sec_encode (fun () ->
+      let b = W.create () in
+      write_block b blk;
+      Buffer.contents b)
 
 let decode_block s =
-  let r = R.create s in
-  let blk = read_block r in
-  R.eof r;
-  blk
+  Prof.span sec_decode (fun () ->
+      let r = R.create s in
+      let blk = read_block r in
+      R.eof r;
+      blk)

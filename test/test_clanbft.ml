@@ -7,5 +7,6 @@ let () =
    @ Test_rbc.suites @ Test_faults.suites @ Test_strategy.suites
    @ Test_dag.suites
    @ Test_consensus.suites @ Test_poa.suites @ Test_smr.suites
-   @ Test_obs.suites @ Test_analyze.suites @ Test_recovery.suites
+   @ Test_obs.suites @ Test_prof.suites @ Test_analyze.suites
+   @ Test_recovery.suites
    @ Test_check.suites)
